@@ -1,0 +1,67 @@
+"""Benchmark: the related-work baselines against the paper's suite.
+
+Regenerates the conclusion of the earlier studies the paper builds on
+(Section 8): the graph-based algorithms beat the iterative (Seminaive)
+and matrix-based (Warren) algorithms on full closure, while Seminaive
+remains competitive only at high selectivity.
+"""
+
+from repro.baselines import make_baseline
+from repro.core.query import Query, SystemConfig
+from repro.core.registry import make_algorithm
+from repro.graphs.datasets import sample_sources
+from repro.metrics.report import format_table
+
+
+def run_suite(profile):
+    # Warren's bit matrix is n^2 / 8 bytes: at very small scales it
+    # fits in the buffer pool and the comparison degenerates, so this
+    # bench never shrinks below 1000 nodes.
+    from repro.graphs.datasets import graph_family
+
+    scale = min(profile.scale, 2)
+    graph = graph_family("G5").generate(seed=0, scale=scale)
+    system = SystemConfig(buffer_pages=10)
+    rows = []
+    for task, query in (
+        ("ctc", Query.full()),
+        ("ptc_s5", Query.ptc(sample_sources(graph, 5, seed=1))),
+    ):
+        for name in ("btc", "schmitz", "seminaive", "smart", "warshall", "warren"):
+            algorithm = make_algorithm(name) if name == "btc" else make_baseline(name)
+            result = algorithm.run(graph, query, system)
+            rows.append(
+                {
+                    "task": task,
+                    "algorithm": name,
+                    "total_io": result.metrics.total_io,
+                    "tuples_generated": result.metrics.tuples_generated,
+                }
+            )
+    return rows
+
+
+def test_baselines(benchmark, profile):
+    rows = benchmark.pedantic(run_suite, args=(profile,), rounds=1, iterations=1)
+    print("\n" + format_table(rows, title="Related-work baselines (G5, M=10)"))
+
+    io = {(row["task"], row["algorithm"]): row["total_io"] for row in rows}
+    # Earlier studies' conclusions, reproduced on this substrate:
+    # the graph-based algorithm beats the iterative and matrix-based
+    # families on the full closure [1, 3, 19]...
+    assert io[("ctc", "btc")] < io[("ctc", "seminaive")]
+    assert io[("ctc", "btc")] < io[("ctc", "smart")]
+    assert io[("ctc", "btc")] < io[("ctc", "warren")]
+    assert io[("ctc", "btc")] < io[("ctc", "warshall")]
+    # ...Seminaive always outperforms Smart [19]; Warren's passes beat
+    # Warshall's pivot-major access pattern [26]...
+    assert io[("ctc", "seminaive")] < io[("ctc", "smart")]
+    assert io[("ctc", "warren")] <= io[("ctc", "warshall")]
+    # ...the matrix algorithms cannot exploit selectivity at all, and
+    # squaring also computes rows for every node [19]...
+    assert io[("ptc_s5", "warren")] > io[("ptc_s5", "btc")]
+    assert io[("ptc_s5", "smart")] > io[("ptc_s5", "seminaive")]
+    # ...while Schmitz, like BTC, is graph-based and lands in the same
+    # league, but without the marking optimisation BTC stays ahead
+    # overall [12].
+    assert io[("ctc", "schmitz")] < io[("ctc", "warren")]

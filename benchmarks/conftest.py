@@ -1,0 +1,31 @@
+"""Shared configuration for the benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper at the
+``smoke`` scale profile (250-node graphs) so that the full suite runs
+in minutes; pass ``--repro-profile default`` or ``paper`` for bigger
+runs (the ``paper`` profile uses the full 2000-node workloads and can
+take hours for the tree-algorithm figures).
+
+Each benchmark prints the regenerated rows/series (visible with
+``pytest -s`` or in the captured output) and asserts the *shape* the
+paper reports -- who wins, and roughly how the curves move -- not the
+absolute numbers.
+"""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--repro-profile",
+        default="smoke",
+        choices=["smoke", "default", "paper"],
+        help="scale profile for the reproduction benchmarks",
+    )
+
+
+@pytest.fixture(scope="session")
+def profile(request):
+    from repro.experiments.config import get_profile
+
+    return get_profile(request.config.getoption("--repro-profile"))

@@ -1,0 +1,62 @@
+"""Scenario: using the rectangle model to choose an algorithm.
+
+Section 6.3.4 of the paper proposes that the *width* W(G) of a DAG --
+computable in the single restructuring-phase traversal (Theorem 2) --
+predicts whether Jakobsson's Compute_Tree (JKB2) or the basic BTC
+algorithm will win a partial-closure query: JKB2 wins on narrow
+graphs, BTC on wide ones.
+
+This example plays query optimizer: it profiles each workload graph,
+predicts the winner from the width, then runs both algorithms and
+scores the prediction -- regenerating Table 4's insight as a decision
+procedure.
+
+Run with::
+
+    python examples/algorithm_advisor.py
+"""
+
+from repro import GRAPH_FAMILIES, Query, SystemConfig, make_algorithm, profile_graph
+from repro.graphs.datasets import sample_sources
+
+SCALE = 4          # shrink the paper's 2000-node families for a quick demo
+BUFFER_PAGES = 10  # Table 4's buffer pool
+NUM_SOURCES = 5    # Table 4's s = 5 column
+
+
+def main() -> None:
+    system = SystemConfig(buffer_pages=BUFFER_PAGES)
+    print(f"{'graph':>6} {'width':>6} {'predict':>8} {'btc_io':>7} "
+          f"{'jkb2_io':>8} {'winner':>7} {'correct':>8}")
+
+    rows = []
+    for family in GRAPH_FAMILIES:
+        graph = family.generate(seed=0, scale=SCALE)
+        stats = profile_graph(graph, include_closure_size=False)
+        rows.append((family.name, graph, stats.width))
+
+    # Calibrate a width threshold from the midpoint of the sorted widths
+    # (an optimizer would learn this from history).
+    widths = sorted(width for _name, _graph, width in rows)
+    threshold = (widths[len(widths) // 2 - 1] + widths[len(widths) // 2]) / 2
+
+    correct = 0
+    for name, graph, width in sorted(rows, key=lambda row: row[2]):
+        prediction = "jkb2" if width < threshold else "btc"
+        query = Query.ptc(sample_sources(graph, NUM_SOURCES, seed=1))
+        btc_io = make_algorithm("btc").run(graph, query, system).metrics.total_io
+        jkb2_io = make_algorithm("jkb2").run(graph, query, system).metrics.total_io
+        winner = "jkb2" if jkb2_io < btc_io else "btc"
+        hit = winner == prediction
+        correct += hit
+        print(f"{name:>6} {width:6.0f} {prediction:>8} {btc_io:7d} "
+              f"{jkb2_io:8d} {winner:>7} {'yes' if hit else 'no':>8}")
+
+    print(f"\nwidth threshold: {threshold:.0f}; "
+          f"prediction accuracy: {correct}/{len(rows)}")
+    print("(the paper stops short of a full optimizer model; the width "
+          "is a qualitative signal, so a few misses are expected)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+"""Scenario: why tuple-level cost metrics mislead (the paper's §7).
+
+The paper's methodological finding is that the metrics used across the
+earlier literature -- tuples generated, tuple I/O, distinct tuples,
+successor-list unions -- *cannot* be used to predict the page-I/O cost
+of a transitive closure computation.  Its two star witnesses:
+
+1. the successor-tree algorithms fetch fewer tuples and generate far
+   fewer duplicates than BTC on full closures, yet pay MORE page I/O
+   (Figure 7); and
+2. for high-selectivity selections, JKB2 generates a tiny fraction of
+   BTC's tuples (suggesting a win) while performing several times more
+   unions (suggesting a loss) -- and the page-I/O verdict varies by
+   graph, so neither metric calls the winner (Figures 8-10).
+
+This example recreates both witnesses and prints the rank inversions.
+
+Run with::
+
+    python examples/metric_pitfalls.py
+"""
+
+from repro import Query, SystemConfig, make_algorithm
+from repro.graphs.datasets import build_graph, sample_sources
+
+SCALE = 4
+BUFFER_PAGES = 10
+
+
+def rank(values: dict[str, float]) -> list[str]:
+    """Algorithm names ordered best (smallest) first."""
+    return sorted(values, key=values.get)
+
+
+def witness_one() -> None:
+    print("== witness 1: trees vs flat lists on a full closure ==")
+    graph = build_graph("G5", seed=0, scale=SCALE)
+    metrics = {}
+    for name in ("btc", "spn"):
+        result = make_algorithm(name).run(
+            graph, Query.full(), SystemConfig(buffer_pages=BUFFER_PAGES)
+        )
+        metrics[name] = result.metrics
+    for label, getter in (
+        ("tuple I/O       ", lambda m: m.tuple_io),
+        ("duplicates      ", lambda m: m.duplicates),
+        ("page I/O (truth)", lambda m: m.total_io),
+    ):
+        values = {name: getter(m) for name, m in metrics.items()}
+        print(f"  {label}: btc={values['btc']:>9}  spn={values['spn']:>9}"
+              f"   winner by this metric: {rank(values)[0]}")
+    inverted = (
+        metrics["spn"].tuple_io <= metrics["btc"].tuple_io
+        and metrics["spn"].total_io >= metrics["btc"].total_io
+    )
+    print(f"  tuple metrics and page I/O disagree: {inverted}")
+
+
+def witness_two() -> None:
+    print("\n== witness 2: JKB2 vs BTC on high-selectivity selections ==")
+    for family in ("G4", "G12"):
+        graph = build_graph(family, seed=0, scale=SCALE)
+        query = Query.ptc(sample_sources(graph, 5, seed=1))
+        metrics = {}
+        for name in ("btc", "jkb2"):
+            result = make_algorithm(name).run(
+                graph, query, SystemConfig(buffer_pages=BUFFER_PAGES)
+            )
+            metrics[name] = result.metrics
+        tuples = {name: m.tuples_generated for name, m in metrics.items()}
+        unions = {name: m.list_unions for name, m in metrics.items()}
+        page_io = {name: m.total_io for name, m in metrics.items()}
+        print(f"  {family}: tuples say {rank(tuples)[0]:>4}, "
+              f"unions say {rank(unions)[0]:>4}, "
+              f"page I/O says {rank(page_io)[0]:>4} "
+              f"(btc={page_io['btc']}, jkb2={page_io['jkb2']})")
+    print("  -> the two tuple-level metrics point in opposite directions,")
+    print("     and the page-I/O verdict depends on the graph's shape;")
+    print("     only measuring page I/O directly settles it (Section 7).")
+
+
+def main() -> None:
+    witness_one()
+    witness_two()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+"""repro -- a reproduction of Dar & Ramakrishnan,
+"A Performance Study of Transitive Closure Algorithms" (SIGMOD 1994).
+
+The package implements the paper's complete system: six disk-based
+transitive closure algorithms (BTC, Hybrid, BJ, Search, Spanning Tree
+and Compute_Tree) in the paper's uniform two-phase framework, running
+on a simulated storage substrate (2 KB pages, buffer pool with
+replacement policies, clustered relations and indexes, block-structured
+successor-list pages), plus the synthetic DAG workload generator, the
+rectangle model for characterising DAGs, and an experiment harness that
+regenerates every table and figure of the paper's evaluation section.
+
+Quick start::
+
+    import repro
+
+    graph = repro.generate_dag(500, avg_out_degree=5, locality=100, seed=7)
+    result = repro.make_algorithm("btc").run(
+        graph,
+        repro.Query.ptc([0, 1, 2]),
+        repro.SystemConfig(buffer_pages=20),
+    )
+    print(result.successors_of(0))
+    print(result.metrics.summary())
+"""
+
+from repro.core import (
+    ALGORITHM_NAMES,
+    ClosureResult,
+    Query,
+    SystemConfig,
+    TwoPhaseAlgorithm,
+    make_algorithm,
+)
+from repro.errors import (
+    BufferPoolExhaustedError,
+    ConfigurationError,
+    CyclicGraphError,
+    InvalidNodeError,
+    ReproError,
+    StorageError,
+    UnknownAlgorithmError,
+)
+from repro.graphs import (
+    GRAPH_FAMILIES,
+    Digraph,
+    GraphProfile,
+    build_graph,
+    condensation,
+    generate_dag,
+    graph_family,
+    magic_subgraph,
+    profile_graph,
+    topological_sort,
+)
+from repro.metrics import MetricSet
+from repro.storage import BufferPool, IoStats, PageId, PageKind, SuccessorListStore
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALGORITHM_NAMES",
+    "BufferPool",
+    "BufferPoolExhaustedError",
+    "ClosureResult",
+    "ConfigurationError",
+    "CyclicGraphError",
+    "Digraph",
+    "GRAPH_FAMILIES",
+    "GraphProfile",
+    "InvalidNodeError",
+    "IoStats",
+    "MetricSet",
+    "PageId",
+    "PageKind",
+    "Query",
+    "ReproError",
+    "StorageError",
+    "SuccessorListStore",
+    "SystemConfig",
+    "TwoPhaseAlgorithm",
+    "UnknownAlgorithmError",
+    "build_graph",
+    "condensation",
+    "generate_dag",
+    "graph_family",
+    "magic_subgraph",
+    "make_algorithm",
+    "profile_graph",
+    "topological_sort",
+    "__version__",
+]

@@ -1,0 +1,231 @@
+"""High-level convenience API.
+
+The algorithm classes in :mod:`repro.core` mirror the paper exactly:
+they require an acyclic input and make the caller pick an algorithm.
+This module is the front door a downstream user actually wants:
+
+* :func:`transitive_closure` accepts any directed graph (cyclic inputs
+  are condensed first, the standard preprocessing of Section 1), any
+  query shape, and picks an algorithm automatically unless told
+  otherwise;
+* :func:`choose_algorithm` exposes the selection heuristic on its own
+  -- the paper's Section 6 findings and rectangle model distilled into
+  a decision procedure;
+* :func:`reachable` answers a single reachability probe.
+
+Example::
+
+    import repro.api as tc
+
+    closure = tc.transitive_closure(arcs=[(0, 1), (1, 2), (2, 0)], num_nodes=3)
+    assert closure.reaches(0, 0)   # cycles are handled
+    print(closure.chosen_algorithm, closure.metrics.total_io)
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+from repro.core.query import Query, SystemConfig
+from repro.core.registry import make_algorithm
+from repro.errors import ConfigurationError
+from repro.graphs.analysis import bitset_to_nodes
+from repro.graphs.condensation import Condensation, condensation
+from repro.graphs.digraph import Digraph
+from repro.graphs.toposort import is_acyclic
+from repro.metrics.counters import MetricSet
+
+
+@dataclass
+class Closure:
+    """The answer of a :func:`transitive_closure` call.
+
+    ``successors`` maps each answered node to the set of nodes it
+    reaches.  For cyclic inputs a node can reach itself; for acyclic
+    inputs it never does.
+    """
+
+    successors: dict[int, set[int]]
+    chosen_algorithm: str
+    metrics: MetricSet
+    condensed: bool = False
+    condensation_info: Condensation | None = None
+    tuples: int = field(init=False, default=0)
+
+    def __post_init__(self) -> None:
+        self.tuples = sum(len(reached) for reached in self.successors.values())
+
+    def reaches(self, src: int, dst: int) -> bool:
+        """Whether ``dst`` is reachable from ``src`` (proper paths only)."""
+        return dst in self.successors.get(src, set())
+
+    def successors_of(self, node: int) -> list[int]:
+        """The sorted successors of an answered node."""
+        return sorted(self.successors.get(node, set()))
+
+
+def choose_algorithm(
+    graph: Digraph,
+    sources: Iterable[int] | None = None,
+    buffer_pages: int = 20,
+) -> str:
+    """Pick an algorithm for a query, per the paper's findings.
+
+    The decision procedure distils Section 6:
+
+    1. Full closure, or nearly all nodes selected: **BTC** -- it was
+       the overall best algorithm for CTC (blocking hurts Hybrid, the
+       tree algorithms pay extra page I/O, conclusion 1).
+    2. A handful of sources (``s`` at most ~1% of the nodes): **SRCH**
+       -- the best performer at high selectivity (conclusion 4).
+    3. Otherwise consult the rectangle model (Section 6.3.4): a
+       *narrow* magic graph favours **JKB2**, a wide one **BJ** (BTC
+       plus the free single-parent improvement, conclusion 2).
+
+    The width test compares W(G_m) against the number of magic nodes:
+    Table 4's crossover sits where the width approaches roughly a
+    fifth of the node count for the paper's 2000-node workloads.
+    """
+    if sources is None:
+        return "btc"
+    source_list = list(dict.fromkeys(sources))
+    if not source_list:
+        raise ConfigurationError("sources must not be empty")
+    if len(source_list) <= max(2, graph.num_nodes // 100):
+        return "srch"
+
+    from repro.graphs.toposort import reachable_from
+
+    magic_nodes = reachable_from(graph, source_list)
+    if len(source_list) >= 0.5 * graph.num_nodes:
+        return "btc"
+    from repro.graphs.analysis import profile_graph
+
+    stats = profile_graph(graph, nodes=magic_nodes, include_closure_size=False)
+    if stats.width < 0.2 * max(1, len(magic_nodes)):
+        return "jkb2"
+    return "bj"
+
+
+def transitive_closure(
+    graph: Digraph | None = None,
+    arcs: Iterable[tuple[int, int]] | None = None,
+    num_nodes: int | None = None,
+    sources: Iterable[int] | None = None,
+    algorithm: str = "auto",
+    buffer_pages: int = 20,
+    system: SystemConfig | None = None,
+) -> Closure:
+    """Compute a full or partial transitive closure of any digraph.
+
+    Parameters
+    ----------
+    graph / arcs, num_nodes:
+        The input: either an existing :class:`Digraph`, or an arc list
+        plus node count.
+    sources:
+        Source nodes for a partial closure; omit for the full closure.
+    algorithm:
+        A registry name (``btc``, ``hyb``, ``bj``, ``srch``, ``spn``,
+        ``jkb``, ``jkb2``) or ``"auto"`` to apply
+        :func:`choose_algorithm`.
+    buffer_pages / system:
+        Simulated system configuration (``system`` wins if given).
+
+    Cyclic inputs are handled by condensation: the closure is computed
+    on the acyclic condensation and expanded back, so nodes on cycles
+    correctly reach themselves.
+    """
+    if graph is None:
+        if arcs is None or num_nodes is None:
+            raise ConfigurationError("pass either a graph, or arcs plus num_nodes")
+        graph = Digraph.from_arcs(num_nodes, arcs)
+    elif arcs is not None:
+        raise ConfigurationError("pass either a graph or arcs, not both")
+
+    system = system or SystemConfig(buffer_pages=buffer_pages)
+    source_list = None if sources is None else list(dict.fromkeys(sources))
+
+    if is_acyclic(graph):
+        return _acyclic_closure(graph, source_list, algorithm, system)
+    return _cyclic_closure(graph, source_list, algorithm, system)
+
+
+def reachable(graph: Digraph, src: int, dst: int, buffer_pages: int = 20) -> bool:
+    """Single reachability probe: is there a (non-empty) path src -> dst?"""
+    closure = transitive_closure(
+        graph, sources=[src], algorithm="auto", buffer_pages=buffer_pages
+    )
+    return closure.reaches(src, dst)
+
+
+# -- internals ------------------------------------------------------------
+
+
+def _resolve(algorithm: str, graph: Digraph, sources: list[int] | None) -> str:
+    if algorithm != "auto":
+        return algorithm
+    return choose_algorithm(graph, sources)
+
+
+def _acyclic_closure(
+    graph: Digraph,
+    sources: list[int] | None,
+    algorithm: str,
+    system: SystemConfig,
+) -> Closure:
+    name = _resolve(algorithm, graph, sources)
+    query = Query.full() if sources is None else Query.ptc(sources)
+    result = make_algorithm(name).run(graph, query, system)
+    successors = {
+        node: set(bitset_to_nodes(bits))
+        for node, bits in result.successor_bits.items()
+    }
+    return Closure(
+        successors=successors,
+        chosen_algorithm=name,
+        metrics=result.metrics,
+    )
+
+
+def _cyclic_closure(
+    graph: Digraph,
+    sources: list[int] | None,
+    algorithm: str,
+    system: SystemConfig,
+) -> Closure:
+    cond = condensation(graph)
+    dag = cond.dag
+    if sources is None:
+        dag_sources = None
+    else:
+        dag_sources = list(dict.fromkeys(cond.component_of[s] for s in sources))
+
+    name = _resolve(algorithm, dag, dag_sources)
+    query = Query.full() if dag_sources is None else Query.ptc(dag_sources)
+    result = make_algorithm(name).run(dag, query, system)
+
+    component_closure = {
+        comp: set(bitset_to_nodes(bits))
+        for comp, bits in result.successor_bits.items()
+    }
+    if dag_sources is not None:
+        # Components not answered (non-source) contribute nothing.
+        for comp in range(dag.num_nodes):
+            component_closure.setdefault(comp, set())
+
+    from repro.graphs.condensation import expand_closure_to_original
+
+    expanded = expand_closure_to_original(cond, component_closure)
+    if sources is None:
+        successors = expanded
+    else:
+        successors = {s: expanded[s] for s in sources}
+    return Closure(
+        successors=successors,
+        chosen_algorithm=name,
+        metrics=result.metrics,
+        condensed=True,
+        condensation_info=cond,
+    )

@@ -1,0 +1,65 @@
+"""Related-work baseline algorithms (Section 8 of the paper).
+
+The paper selected its candidate suite because earlier studies
+[1, 3, 12, 19] had already shown the graph-based algorithms superior to
+the *iterative* (Seminaive) and *matrix-based* (Warshall/Warren)
+algorithms.  This subpackage implements those two classical baselines
+on the same simulated storage substrate so that the earlier studies'
+conclusion can be checked against this reproduction (see
+``benchmarks/bench_baselines.py``):
+
+* :class:`~repro.baselines.seminaive.SeminaiveAlgorithm` -- the
+  iterative delta algorithm evaluated over the clustered arc relation.
+* :class:`~repro.baselines.smart.SmartAlgorithm` -- the logarithmic
+  (squaring) iterative algorithm, which Kabler et al. [19] found
+  Seminaive to always outperform.
+* :class:`~repro.baselines.warshall.WarshallAlgorithm` -- the classic
+  pivot-major boolean-matrix closure [27].
+* :class:`~repro.baselines.warren.WarrenAlgorithm` -- Warren's two-pass
+  row-major modification [26] over a paged bit matrix.
+* :class:`~repro.baselines.schmitz.SchmitzAlgorithm` -- the one-pass
+  SCC-merging graph algorithm [23] that Ioannidis et al. [12] compared
+  against BTC.
+
+All expose the same ``run(graph, query, system) -> ClosureResult``
+protocol as the paper's algorithms.
+"""
+
+from repro.baselines.schmitz import SchmitzAlgorithm
+from repro.baselines.seminaive import SeminaiveAlgorithm
+from repro.baselines.smart import SmartAlgorithm
+from repro.baselines.warren import WarrenAlgorithm
+from repro.baselines.warshall import WarshallAlgorithm
+from repro.errors import UnknownAlgorithmError
+
+_BASELINES = {
+    "seminaive": SeminaiveAlgorithm,
+    "smart": SmartAlgorithm,
+    "warshall": WarshallAlgorithm,
+    "warren": WarrenAlgorithm,
+    "schmitz": SchmitzAlgorithm,
+}
+
+BASELINE_NAMES = tuple(_BASELINES)
+
+
+def make_baseline(name: str):
+    """Instantiate a baseline algorithm by name."""
+    try:
+        return _BASELINES[name.lower()]()
+    except KeyError:
+        valid = ", ".join(BASELINE_NAMES)
+        raise UnknownAlgorithmError(
+            f"unknown baseline {name!r}; valid names: {valid}"
+        ) from None
+
+
+__all__ = [
+    "BASELINE_NAMES",
+    "SchmitzAlgorithm",
+    "SeminaiveAlgorithm",
+    "SmartAlgorithm",
+    "WarrenAlgorithm",
+    "WarshallAlgorithm",
+    "make_baseline",
+]

@@ -1,0 +1,109 @@
+"""Warshall's algorithm (related work; Warshall [27]).
+
+The original boolean-matrix closure: for each pivot ``k``, every row
+``i`` with ``M[i][k]`` set absorbs row ``k``.  Correct for cyclic
+graphs.  Compared with Warren's two-pass variant the pivot-major order
+touches every row once per pivot it feeds, which is brutal when the
+matrix exceeds the buffer pool -- Warren's row-major passes were
+invented precisely to fix that access pattern, and the pair of
+implementations lets the benchmark suite show the gap.
+
+The matrix uses the same paged layout as :mod:`repro.baselines.warren`.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.query import Query, SystemConfig
+from repro.core.result import ClosureResult
+from repro.graphs.digraph import Digraph
+from repro.metrics.counters import MetricSet
+from repro.storage.buffer import BufferPool, make_policy
+from repro.storage.iostats import Phase
+from repro.storage.page import PAGE_SIZE, PageId, PageKind
+from repro.storage.relation import ArcRelation
+
+
+class WarshallAlgorithm:
+    """The classic pivot-major boolean-matrix transitive closure."""
+
+    name = "warshall"
+
+    def run(
+        self,
+        graph: Digraph,
+        query: Query | None = None,
+        system: SystemConfig | None = None,
+    ) -> ClosureResult:
+        """Evaluate the query; same protocol as the paper's algorithms."""
+        query = Query.full() if query is None else query
+        system = SystemConfig() if system is None else system
+        metrics = MetricSet()
+        pool = BufferPool(
+            system.buffer_pages,
+            stats=metrics.io,
+            policy=make_policy(system.page_policy, seed=system.policy_seed),
+        )
+        n = graph.num_nodes
+        rows_per_page = max(1, (PAGE_SIZE * 8) // max(1, n))
+        start = time.process_time()
+
+        def row_page(row: int) -> PageId:
+            return PageId(PageKind.SUCCESSOR, row // rows_per_page)
+
+        metrics.io.phase = Phase.RESTRUCTURE
+        ArcRelation(graph).scan(pool)
+        matrix = [0] * n
+        column = [0] * n  # column[k] = bitset of rows with M[i][k] set
+        for src, dst in graph.arcs():
+            matrix[src] |= 1 << dst
+            column[dst] |= 1 << src
+        for row in range(n):
+            pool.access(row_page(row), dirty=True)
+
+        metrics.io.phase = Phase.COMPUTE
+        for pivot in range(n):
+            feeders = column[pivot] & ~(1 << pivot)
+            if not feeders or not matrix[pivot]:
+                continue
+            pool.access(row_page(pivot))
+            while feeders:
+                low = feeders & -feeders
+                row = low.bit_length() - 1
+                feeders ^= low
+                pool.access(row_page(row))
+                before = matrix[row]
+                metrics.list_unions += 1
+                metrics.tuples_generated += matrix[pivot].bit_count()
+                after = before | matrix[pivot]
+                fresh = after & ~before
+                metrics.duplicates += matrix[pivot].bit_count() - fresh.bit_count()
+                if fresh:
+                    matrix[row] = after
+                    pool.access(row_page(row), dirty=True)
+                    # Track new column memberships for later pivots.
+                    value = fresh
+                    while value:
+                        bit = value & -value
+                        column[bit.bit_length() - 1] |= 1 << row
+                        value ^= bit
+
+        metrics.io.phase = Phase.WRITEOUT
+        if query.is_full:
+            output_rows = list(range(n))
+        else:
+            output_rows = list(dict.fromkeys(query.sources or ()))
+        output_pages = {row_page(row) for row in output_rows}
+        pool.flush_selected(output_pages)
+        metrics.distinct_tuples = sum(bits.bit_count() for bits in matrix)
+        metrics.output_tuples = sum(matrix[row].bit_count() for row in output_rows)
+        metrics.cpu_seconds = time.process_time() - start
+
+        return ClosureResult(
+            algorithm=self.name,
+            query=query,
+            system=system,
+            metrics=metrics,
+            successor_bits={row: matrix[row] for row in output_rows},
+        )

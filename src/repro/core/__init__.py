@@ -1,0 +1,56 @@
+"""The paper's contribution: six transitive closure algorithms in a
+uniform two-phase implementation framework (Sections 3 and 4).
+
+All algorithms are variations of one base algorithm operating on
+successor lists:
+
+* :class:`~repro.core.btc.BtcAlgorithm` -- the basic algorithm with the
+  marking optimisation (``"btc"``).
+* :class:`~repro.core.hybrid.HybridAlgorithm` -- successor-list
+  blocking with a pinned diagonal block (``"hyb"``).
+* :class:`~repro.core.bfs.BjAlgorithm` -- Jiang's single-parent
+  optimisation (``"bj"``).
+* :class:`~repro.core.search.SearchAlgorithm` -- one search per source
+  node (``"srch"``).
+* :class:`~repro.core.spanning_tree.SpanningTreeAlgorithm` -- successor
+  spanning trees (``"spn"``).
+* :class:`~repro.core.compute_tree.ComputeTreeAlgorithm` -- Jakobsson's
+  special-node predecessor trees, in the single-relation (``"jkb"``)
+  and dual-representation (``"jkb2"``) variants.
+
+Use :func:`~repro.core.registry.make_algorithm` to obtain an algorithm
+by name, and :meth:`~repro.core.base.TwoPhaseAlgorithm.run` to execute
+a query::
+
+    from repro import make_algorithm, Query, SystemConfig, generate_dag
+
+    graph = generate_dag(500, avg_out_degree=5, locality=100, seed=1)
+    result = make_algorithm("btc").run(graph, Query.full(), SystemConfig(buffer_pages=20))
+    print(result.metrics.total_io, result.num_tuples)
+"""
+
+from repro.core.base import TwoPhaseAlgorithm
+from repro.core.bfs import BjAlgorithm
+from repro.core.btc import BtcAlgorithm
+from repro.core.compute_tree import ComputeTreeAlgorithm
+from repro.core.hybrid import HybridAlgorithm
+from repro.core.query import Query, SystemConfig
+from repro.core.registry import ALGORITHM_NAMES, make_algorithm
+from repro.core.result import ClosureResult
+from repro.core.search import SearchAlgorithm
+from repro.core.spanning_tree import SpanningTreeAlgorithm
+
+__all__ = [
+    "ALGORITHM_NAMES",
+    "BjAlgorithm",
+    "BtcAlgorithm",
+    "ClosureResult",
+    "ComputeTreeAlgorithm",
+    "HybridAlgorithm",
+    "Query",
+    "SearchAlgorithm",
+    "SpanningTreeAlgorithm",
+    "SystemConfig",
+    "TwoPhaseAlgorithm",
+    "make_algorithm",
+]

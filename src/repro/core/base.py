@@ -1,0 +1,241 @@
+"""The uniform two-phase implementation framework (Section 4).
+
+Every algorithm's execution is divided into:
+
+1. a *restructuring phase*, common to all algorithms, in which the
+   input relation is scanned (full queries) or searched forward from
+   the source nodes (selection queries), the magic subgraph is
+   identified, the nodes are topologically sorted, the rectangle-model
+   statistics are collected (at no extra I/O cost, Theorem 2), and the
+   tuples are converted to successor-list format; and
+2. a *computation phase*, different for each algorithm, in which the
+   successor lists are expanded; followed by writing the expanded lists
+   of the relevant nodes out to disk.
+
+The Search algorithm overrides the split (Section 4.1: its extended
+preprocessing does all the work and the computation phase is empty),
+and BJ inserts the single-parent reduction between scope identification
+and sorting.
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+
+from repro.core.context import ExecutionContext
+from repro.core.query import Query, SystemConfig
+from repro.core.result import ClosureResult
+from repro.errors import CyclicGraphError, InvalidNodeError
+from repro.graphs.digraph import Digraph
+from repro.storage.iostats import Phase
+from repro.storage.page import PageId
+
+
+def topological_sort_map(adjacency: dict[int, list[int]]) -> list[int]:
+    """Topologically sort the nodes of an adjacency mapping.
+
+    Like :func:`repro.graphs.toposort.topological_sort` but over the
+    context's (possibly rewritten) adjacency instead of the input
+    graph, so BJ's single-parent reduction is honoured.
+    """
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color = {node: WHITE for node in adjacency}
+    postorder: list[int] = []
+    for root in sorted(adjacency):
+        if color[root] != WHITE:
+            continue
+        stack: list[tuple[int, int]] = [(root, 0)]
+        color[root] = GRAY
+        while stack:
+            node, child_index = stack[-1]
+            children = adjacency[node]
+            advanced = False
+            while child_index < len(children):
+                child = children[child_index]
+                child_index += 1
+                state = color[child]
+                if state == GRAY:
+                    raise CyclicGraphError(
+                        f"cycle detected through arc ({node}, {child})"
+                    )
+                if state == WHITE:
+                    stack[-1] = (node, child_index)
+                    stack.append((child, 0))
+                    color[child] = GRAY
+                    advanced = True
+                    break
+            if advanced:
+                continue
+            stack.pop()
+            color[node] = BLACK
+            postorder.append(node)
+    postorder.reverse()
+    return postorder
+
+
+class TwoPhaseAlgorithm(ABC):
+    """Base class of all transitive closure algorithms in the study."""
+
+    name: str = "abstract"
+    needs_inverse: bool = False
+    """Whether the algorithm requires the dual (inverse) relation."""
+
+    def run(
+        self,
+        graph: Digraph,
+        query: Query | None = None,
+        system: SystemConfig | None = None,
+    ) -> ClosureResult:
+        """Execute the algorithm and return the answer plus cost profile."""
+        query = Query.full() if query is None else query
+        system = SystemConfig() if system is None else system
+        if query.sources is not None:
+            for source in query.sources:
+                if not 0 <= source < graph.num_nodes:
+                    raise InvalidNodeError(
+                        f"source node {source} outside the graph's range "
+                        f"0..{graph.num_nodes - 1}"
+                    )
+
+        ctx = ExecutionContext(graph, query, system, needs_inverse=self.needs_inverse)
+        start = time.process_time()
+
+        ctx.enter_phase(Phase.RESTRUCTURE)
+        self.restructure(ctx)
+        ctx.metrics.restructure_cpu_seconds = time.process_time() - start
+
+        ctx.enter_phase(Phase.COMPUTE)
+        self.compute(ctx)
+
+        ctx.enter_phase(Phase.WRITEOUT)
+        output_nodes = self.write_out(ctx)
+
+        ctx.metrics.cpu_seconds = time.process_time() - start
+        return self._build_result(ctx, output_nodes)
+
+    # -- restructuring phase (shared) ------------------------------------------
+
+    def restructure(self, ctx: ExecutionContext) -> None:
+        """Scan/search the relation, sort, and build initial lists."""
+        self.identify_scope(ctx)
+        self.sort_and_profile(ctx)
+        self.build_lists(ctx)
+
+    def identify_scope(self, ctx: ExecutionContext) -> None:
+        """Determine the magic graph and load its adjacency.
+
+        For a full query the relation is scanned sequentially; for a
+        selection query the magic subgraph is found by searching
+        forward from the source nodes through the clustered index.
+        """
+        graph, query = ctx.graph, ctx.query
+        if query.is_full:
+            ctx.relation.scan(ctx.pool)
+            ctx.in_scope = set(graph.nodes())
+            ctx.adjacency = {node: list(graph.successors(node)) for node in graph.nodes()}
+            ctx.metrics.tuple_io += graph.num_arcs
+            return
+
+        seen: set[int] = set()
+        stack = list(query.sources or ())
+        adjacency: dict[int, list[int]] = {}
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            children = ctx.relation.read_successors(node, ctx.pool)
+            ctx.metrics.tuple_io += len(children)
+            # Children of a reachable node are reachable, so the whole
+            # successor list stays in the magic graph.
+            adjacency[node] = list(children)
+            for child in children:
+                if child not in seen:
+                    stack.append(child)
+        ctx.in_scope = seen
+        ctx.adjacency = adjacency
+
+    def sort_and_profile(self, ctx: ExecutionContext) -> None:
+        """Topologically sort the scope and collect the rectangle model."""
+        order = topological_sort_map(ctx.adjacency)
+        ctx.topo_order = order
+        ctx.position = {node: index for index, node in enumerate(order)}
+
+        levels: dict[int, int] = {}
+        for node in reversed(order):
+            best = 0
+            for child in ctx.adjacency[node]:
+                child_level = levels[child]
+                if child_level > best:
+                    best = child_level
+            levels[node] = best + 1
+        ctx.levels = levels
+
+        num_nodes = len(order)
+        num_arcs = sum(len(children) for children in ctx.adjacency.values())
+        total_level = sum(levels.values())
+        ctx.height = total_level / num_nodes if num_nodes else 0.0
+        ctx.width = num_arcs / ctx.height if ctx.height else 0.0
+        ctx.max_level = max(levels.values(), default=0)
+
+    def build_lists(self, ctx: ExecutionContext) -> None:
+        """Create the successor lists, initialised with the children.
+
+        Lists are created in reverse topological order -- the order the
+        computation phase expands them -- so consecutive lists share
+        pages (inter-list clustering).
+        """
+        for node in reversed(ctx.topo_order):
+            children = ctx.adjacency[node]
+            ctx.store.create_list(node, len(children))
+            bits = 0
+            for child in children:
+                bits |= 1 << child
+            ctx.lists[node] = bits
+            ctx.acquired[node] = 0
+
+    # -- computation phase (per algorithm) ---------------------------------------
+
+    @abstractmethod
+    def compute(self, ctx: ExecutionContext) -> None:
+        """Expand the successor lists (algorithm-specific)."""
+
+    # -- output ---------------------------------------------------------------
+
+    def write_out(self, ctx: ExecutionContext) -> list[int]:
+        """Write the expanded lists of the relevant nodes to disk.
+
+        For a full query every expanded list is written; for a
+        selection query only the source nodes' lists are (Section 4).
+        Returns the nodes whose lists form the answer.
+        """
+        if ctx.query.is_full:
+            output_nodes = list(ctx.topo_order)
+        else:
+            output_nodes = [s for s in ctx.query.sources or () if s in ctx.in_scope]
+        output_pages: set[PageId] = set()
+        for node in output_nodes:
+            output_pages.update(ctx.store.pages_of(node))
+        ctx.pool.flush_selected(output_pages)
+
+        ctx.metrics.distinct_tuples = sum(bits.bit_count() for bits in ctx.lists.values())
+        ctx.metrics.output_tuples = sum(
+            ctx.lists.get(node, 0).bit_count() for node in output_nodes
+        )
+        return output_nodes
+
+    def _build_result(self, ctx: ExecutionContext, output_nodes: list[int]) -> ClosureResult:
+        num_arcs = sum(len(children) for children in ctx.adjacency.values())
+        return ClosureResult(
+            algorithm=self.name,
+            query=ctx.query,
+            system=ctx.system,
+            metrics=ctx.metrics,
+            successor_bits={node: ctx.lists.get(node, 0) for node in output_nodes},
+            magic_height=ctx.height,
+            magic_width=ctx.width,
+            magic_max_level=ctx.max_level,
+            magic_nodes=len(ctx.topo_order),
+            magic_arcs=num_arcs,
+        )

@@ -1,0 +1,69 @@
+"""The BFS algorithm, "BJ" (Section 3.3 of the paper; Jiang [18]).
+
+Jiang's *single-parent optimisation*: given a multi-source query with
+source set ``S``, a node ``j`` with a single parent ``i`` that is not
+itself a source never needs its own successor list -- every path into
+``j`` runs through ``i``.  The node is reduced to a sink: its children
+are adopted by ``i`` and its outgoing arcs are deleted.  The expansion
+then runs exactly like BTC on the reduced graph.
+
+For a full closure every node is (conceptually) a source, so nothing
+can be reduced and BJ is identical to BTC (Section 6.2).
+"""
+
+from __future__ import annotations
+
+from repro.core.btc import BtcAlgorithm
+from repro.core.context import ExecutionContext
+
+
+class BjAlgorithm(BtcAlgorithm):
+    """BTC plus the single-parent reduction of the magic graph."""
+
+    name = "bj"
+
+    def restructure(self, ctx: ExecutionContext) -> None:
+        self.identify_scope(ctx)
+        if not ctx.query.is_full:
+            self._reduce_single_parents(ctx)
+        self.sort_and_profile(ctx)
+        self.build_lists(ctx)
+
+    def _reduce_single_parents(self, ctx: ExecutionContext) -> None:
+        """Reduce non-source single-parent nodes to sinks.
+
+        Nodes are visited in a topological order of the magic graph so
+        that cascading reductions (a chain of single-parent nodes) are
+        all found in one sweep: adopting ``j``'s children into ``i``
+        can lower a child's in-degree (when the child was already a
+        child of ``i``), and can in turn make it reducible.
+        """
+        from repro.core.base import topological_sort_map
+
+        adjacency = ctx.adjacency
+        sources = set(ctx.query.sources or ())
+        order = topological_sort_map(adjacency)
+
+        parents: dict[int, set[int]] = {node: set() for node in adjacency}
+        for node, children in adjacency.items():
+            for child in children:
+                parents[child].add(node)
+
+        for node in order:
+            if node in sources:
+                continue
+            if len(parents[node]) != 1:
+                continue
+            (parent,) = parents[node]
+            # Adopt the node's children into its single parent; the
+            # node keeps its place as a child of the parent but becomes
+            # a sink.
+            parent_children = set(adjacency[parent])
+            for child in adjacency[node]:
+                parents[child].discard(node)
+                if child in parent_children:
+                    continue
+                parent_children.add(child)
+                adjacency[parent].append(child)
+                parents[child].add(parent)
+            adjacency[node] = []

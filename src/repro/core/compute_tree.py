@@ -1,0 +1,319 @@
+"""The Compute_Tree algorithm, "JKB"/"JKB2" (Section 3.6; Jakobsson [15]).
+
+Compute_Tree is a spanning-tree algorithm tailored to partial closure.
+It differs from SPN in two ways:
+
+* trees are built over the *arc-reversed* magic graph -- predecessor
+  trees rather than successor trees; and
+* a predecessor tree for node ``x`` holds only the *special* nodes: the
+  source nodes that reach ``x``, plus branch nodes where two groups of
+  previously unrelated sources first meet.  A special-node tree has at
+  most ``2|S| - 1`` nodes, so the working set is tiny and becomes
+  memory-resident as soon as the buffer pool allows (Figure 13).
+
+Nodes of the magic graph are processed in topological order.  The tree
+of ``x`` merges one contribution per magic parent ``p``: the (filtered
+copy of the) tree of ``p``, placed under ``p`` itself when ``p`` is a
+source.  Nodes already present anywhere in ``x``'s tree are pruned;
+non-source interior nodes left with fewer than two children are spliced
+out, keeping the tree minimal.  If more than one root remains after all
+parents are merged, paths from unrelated source groups meet for the
+first time at ``x`` itself, so ``x`` becomes a new branch (special)
+node -- the "nearest common ancestor" of the reversed graph.
+
+Because the trees are *partial* (only special nodes are stored), the
+marking optimisation almost never applies -- a parent is rarely itself
+a special node of the child's tree -- so JKB performs many more unions
+than BTC, most of which contribute nothing (Section 6.3.3, Figure 10,
+Figure 11).  This poor marking utilisation is exactly what makes JKB
+lose to BTC on *wide* graphs while winning on narrow ones (Table 4).
+
+The two implementations differ only in how the restructuring phase
+obtains the immediate predecessor lists:
+
+* ``JKB2`` assumes the dual representation -- an inverse relation
+  clustered and indexed on the destination attribute -- and pays about
+  twice BTC's preprocessing cost;
+* ``JKB`` has only the source-clustered relation, modelled as an
+  unclustered access path charging one scattered relation-page access
+  per predecessor arc fetched, which blows up with the out-degree
+  (Figure 7(a)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.base import TwoPhaseAlgorithm
+from repro.core.context import ExecutionContext
+from repro.storage.page import PageId, PageKind
+from repro.storage.successor_store import SuccessorListStore
+
+
+@dataclass
+class _SpecialTree:
+    """A special-node predecessor tree for one magic-graph node."""
+
+    root: "_TreeNode | None" = None
+    ids: set[int] = field(default_factory=set)
+    source_bits: int = 0
+
+    @property
+    def size(self) -> int:
+        return len(self.ids)
+
+    @property
+    def stored_entries(self) -> int:
+        """On-disk entries: each node once, plus one marker per parent."""
+        internal = sum(1 for _ in self._internal_nodes())
+        return len(self.ids) + internal
+
+    def _internal_nodes(self):
+        if self.root is None:
+            return
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if node.children:
+                yield node
+                stack.extend(node.children)
+
+
+class _TreeNode:
+    """One special node inside a predecessor tree."""
+
+    __slots__ = ("id", "children")
+
+    def __init__(self, node_id: int, children: list["_TreeNode"] | None = None) -> None:
+        self.id = node_id
+        self.children = children if children is not None else []
+
+
+class ComputeTreeAlgorithm(TwoPhaseAlgorithm):
+    """Jakobsson's Compute_Tree over special-node predecessor trees.
+
+    ``dual_representation=True`` selects the JKB2 variant (inverse
+    relation available); ``False`` selects plain JKB.
+    """
+
+    def __init__(self, dual_representation: bool = True) -> None:
+        self.dual_representation = dual_representation
+        self.name = "jkb2" if dual_representation else "jkb"
+        self.needs_inverse = dual_representation
+
+    # -- restructuring ------------------------------------------------------
+
+    def restructure(self, ctx: ExecutionContext) -> None:
+        self.identify_scope(ctx)
+        self.sort_and_profile(ctx)
+        self._build_predecessor_lists(ctx)
+
+    def _build_predecessor_lists(self, ctx: ExecutionContext) -> None:
+        """Materialise the immediate predecessor list of every magic node.
+
+        The lists are fetched from the inverse relation (JKB2) or via
+        scattered probes of the forward relation (JKB), converted to
+        list format and written to a working file in topological order
+        -- the computation phase reads each node's predecessor list
+        back when it processes the node, so those pages compete with
+        the tree pages for the buffer pool.
+        """
+        in_scope = ctx.in_scope
+        predecessors: dict[int, list[int]] = {}
+        pred_store = SuccessorListStore(ctx.pool, kind=PageKind.PREDECESSOR)
+        for node in ctx.topo_order:
+            all_preds = ctx.graph.predecessors(node)
+            if self.dual_representation:
+                if ctx.inverse_relation is not None and all_preds:
+                    ctx.inverse_relation.read_predecessors(node, ctx.pool)
+                    ctx.metrics.tuple_io += len(all_preds)
+            else:
+                # No inverse index: one scattered page access per
+                # predecessor arc retrieved.
+                ctx.relation.probe_arcs_unclustered(
+                    len(all_preds), ctx.pool, seed_position=node
+                )
+                ctx.metrics.tuple_io += len(all_preds)
+            magic_preds = [p for p in all_preds if p in in_scope]
+            predecessors[node] = magic_preds
+            pred_store.create_list(node, len(magic_preds))
+        self._predecessors = predecessors
+        self._pred_store = pred_store
+
+    # -- computation ---------------------------------------------------------
+
+    def compute(self, ctx: ExecutionContext) -> None:
+        metrics = ctx.metrics
+        position = ctx.position
+        sources = set(ctx.query.sources or ctx.topo_order)
+        trees: dict[int, _SpecialTree] = {}
+        self._trees = trees
+
+        for node in ctx.topo_order:
+            tree = _SpecialTree()
+            merged_roots: list[_TreeNode] = []
+            if self._predecessors[node]:
+                # Bring the node's materialised predecessor list in.
+                self._pred_store.read_list(node)
+            # Parents are merged latest-topological-position first: a
+            # later parent's tree can contain an earlier parent (the
+            # analogue of BTC's child ordering), giving the marking
+            # test below its best chance -- which is still poor,
+            # because only *special* parents ever appear in a tree.
+            parents = sorted(
+                self._predecessors[node], key=position.__getitem__, reverse=True
+            )
+            for parent in parents:
+                metrics.arcs_considered += 1
+                parent_tree = trees[parent]
+                if parent in tree.ids:
+                    # The parent itself is a special node already in
+                    # this tree: the only case where the marking
+                    # optimisation applies to partial lists.  Because
+                    # trees store *only* special nodes, this is rare --
+                    # the poor marking utilisation of Section 6.3.3.
+                    metrics.arcs_marked += 1
+                    continue
+                metrics.unmarked_locality_total += ctx.arc_locality(parent, node)
+                contribution = self._contribution(parent, parent_tree, sources)
+                if contribution is None:
+                    # The parent is a non-source with an empty tree:
+                    # nothing can flow through this arc.
+                    continue
+                # Perform the union even when it cannot contribute any
+                # new node (the paper's arc (j, d) example): the
+                # parent's tree must still be brought into memory.
+                metrics.list_unions += 1
+                metrics.list_reads += 1
+                if parent_tree.size:
+                    ctx.store.read_list(parent)
+                copied = self._merge(contribution, tree, sources, metrics)
+                if copied is not None:
+                    merged_roots.append(copied)
+
+            if len(merged_roots) > 1:
+                # Unrelated source groups meet for the first time here:
+                # the node itself becomes a branch (special) node.
+                tree.root = _TreeNode(node, merged_roots)
+                tree.ids.add(node)
+                if node in sources:
+                    tree.source_bits |= 1 << node
+                metrics.tuples_generated += 1
+            elif merged_roots:
+                tree.root = merged_roots[0]
+            trees[node] = tree
+            ctx.store.create_list(node, tree.stored_entries)
+            ctx.lists[node] = 0  # flat lists are not used by JKB
+
+    def _contribution(
+        self, parent: int, parent_tree: _SpecialTree, sources: set[int]
+    ) -> _TreeNode | None:
+        """The tree a parent arc contributes: T(p), under p if p is a source."""
+        if parent in sources:
+            children = [parent_tree.root] if parent_tree.root is not None else []
+            return _TreeNode(parent, children)
+        return parent_tree.root
+
+    def _merge(
+        self,
+        contribution: _TreeNode,
+        tree: _SpecialTree,
+        sources: set[int],
+        metrics,
+    ) -> "_TreeNode | None":
+        """Copy the contribution into ``tree``, pruning and splicing.
+
+        Returns the copied root (or its spliced replacement), or None
+        when everything was already present.  The copy is bottom-up:
+        only nodes that are still *special with respect to the new
+        tree* survive -- sources not yet present, and interior nodes
+        that still join two or more surviving groups.  Iterative
+        post-order traversal: special trees can be ``2|S|`` deep.
+        """
+        # Each frame: (node, child_iterator, surviving_children).
+        results: list[_TreeNode | None] = []
+        stack: list[tuple[_TreeNode, int, list[_TreeNode]]] = [(contribution, 0, [])]
+        while stack:
+            node, child_index, surviving = stack[-1]
+            if child_index == 0:
+                metrics.tuple_io += 1
+                if node.id in tree.ids:
+                    # Present already, with every source that reaches it
+                    # (see module docstring): a duplicate encounter --
+                    # prune this whole subtree without deriving anything.
+                    metrics.duplicates += 1
+                    stack.pop()
+                    results.append(None)
+                    self._deliver(stack, results)
+                    continue
+            if child_index < len(node.children):
+                stack[-1] = (node, child_index + 1, surviving)
+                stack.append((node.children[child_index], 0, []))
+                continue
+            stack.pop()
+            is_source = node.id in sources
+            if not is_source and len(surviving) < 2:
+                # A non-source interior node that no longer branches is
+                # not special any more: splice it out.
+                results.append(surviving[0] if surviving else None)
+            else:
+                # A new special node: one successful deduction.
+                copy = _TreeNode(node.id, surviving)
+                tree.ids.add(node.id)
+                if is_source:
+                    tree.source_bits |= 1 << node.id
+                metrics.tuples_generated += 1
+                results.append(copy)
+            self._deliver(stack, results)
+        return results[0]
+
+    @staticmethod
+    def _deliver(
+        stack: list[tuple["_TreeNode", int, list["_TreeNode"]]],
+        results: list["_TreeNode | None"],
+    ) -> None:
+        """Hand a finished child copy to its parent frame, if any."""
+        if stack and results:
+            child_copy = results.pop()
+            if child_copy is not None:
+                stack[-1][2].append(child_copy)
+
+    # -- output -----------------------------------------------------------------
+
+    def write_out(self, ctx: ExecutionContext) -> list[int]:
+        """Assemble the answer by inverting the trees, then write it.
+
+        Every tree is read once (cheap: the trees are tiny and usually
+        memory-resident) and the successor list of each source node is
+        written to the output file.
+        """
+        metrics = ctx.metrics
+        answer: dict[int, int] = {}
+        for node in ctx.topo_order:
+            tree = self._trees[node]
+            if tree.size:
+                ctx.store.read_list(node)
+            # A node can appear in its own tree as a branch (special)
+            # node; it does not reach itself in an acyclic graph.
+            bits = tree.source_bits & ~(1 << node)
+            while bits:
+                low = bits & -bits
+                source = low.bit_length() - 1
+                answer[source] = answer.get(source, 0) | (1 << node)
+                bits ^= low
+
+        output_store = SuccessorListStore(ctx.pool, kind=PageKind.OUTPUT)
+        output_nodes = [s for s in ctx.query.sources or ctx.topo_order if s in ctx.in_scope]
+        output_pages: set[PageId] = set()
+        for source in output_nodes:
+            bits = answer.get(source, 0)
+            ctx.lists[source] = bits
+            output_store.create_list(source, bits.bit_count())
+            output_pages.update(output_store.pages_of(source))
+        ctx.pool.flush_selected(output_pages)
+
+        metrics.distinct_tuples = sum(tree.size for tree in self._trees.values())
+        metrics.output_tuples = sum(
+            ctx.lists.get(node, 0).bit_count() for node in output_nodes
+        )
+        return output_nodes

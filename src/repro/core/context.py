@@ -1,0 +1,121 @@
+"""Execution context: wires graph, query, storage and metrics together.
+
+One :class:`ExecutionContext` is created per algorithm run.  It owns the
+buffer pool, the on-disk relations, the successor-list store and the
+metric counters, and it carries the state the shared restructuring
+phase produces: the magic-graph scope, the topological order, node
+levels and the initial adjacency (which the BJ algorithm's single-
+parent reduction is allowed to rewrite).
+"""
+
+from __future__ import annotations
+
+from repro.core.query import Query, SystemConfig
+from repro.graphs.digraph import Digraph
+from repro.metrics.counters import MetricSet
+from repro.storage.buffer import BufferPool, make_policy
+from repro.storage.iostats import Phase
+from repro.storage.relation import ArcRelation, InverseArcRelation
+from repro.storage.successor_store import SuccessorListStore
+
+
+class ExecutionContext:
+    """All the state of one algorithm execution."""
+
+    def __init__(
+        self,
+        graph: Digraph,
+        query: Query,
+        system: SystemConfig,
+        needs_inverse: bool = False,
+    ) -> None:
+        self.graph = graph
+        self.query = query
+        self.system = system
+        self.metrics = MetricSet()
+        self.pool = BufferPool(
+            system.buffer_pages,
+            stats=self.metrics.io,
+            policy=make_policy(system.page_policy, seed=system.policy_seed),
+        )
+        self.relation = ArcRelation(graph)
+        self.inverse_relation: InverseArcRelation | None = (
+            InverseArcRelation(graph) if needs_inverse else None
+        )
+        self.store = SuccessorListStore(
+            self.pool,
+            policy=system.list_policy,
+            blocks_per_page=system.blocks_per_page,
+            block_capacity=system.block_capacity,
+        )
+
+        # Populated by the restructuring phase:
+        self.topo_order: list[int] = []
+        """Magic-graph nodes in topological order."""
+        self.position: dict[int, int] = {}
+        """Topological position of each magic node."""
+        self.in_scope: set[int] = set()
+        """The magic graph's node set (all nodes for a full query)."""
+        self.levels: dict[int, int] = {}
+        """Node levels of the magic graph (rectangle model, Section 5.3)."""
+        self.adjacency: dict[int, list[int]] = {}
+        """Per-node children within the magic graph; BJ rewrites this."""
+        self.lists: dict[int, int] = {}
+        """Successor-list contents as bitsets (bit j set = j in the list)."""
+        self.acquired: dict[int, int] = {}
+        """Bits acquired through unions; the marking test consults this."""
+        self.height: float = 0.0
+        """H of the magic graph (rectangle model)."""
+        self.width: float = 0.0
+        """W of the magic graph (rectangle model)."""
+        self.max_level: int = 0
+        """Maximum node level of the magic graph."""
+
+    # -- phase bookkeeping -------------------------------------------------
+
+    def enter_phase(self, phase: Phase) -> None:
+        """Switch the I/O accounting to a new execution phase."""
+        self.metrics.io.phase = phase
+
+    # -- shared helpers used by the algorithms ------------------------------
+
+    def sources(self) -> tuple[int, ...]:
+        """The query's source nodes (all scope nodes for a full query)."""
+        if self.query.sources is not None:
+            return self.query.sources
+        return tuple(self.topo_order)
+
+    def arc_locality(self, src: int, dst: int) -> int:
+        """``level(src) - level(dst)`` for an arc of the magic graph."""
+        return self.levels[src] - self.levels[dst]
+
+    def union_list(self, target: int, child: int) -> None:
+        """Union ``{child} + S_child`` into ``S_target`` (flat lists).
+
+        Performs the full cost accounting of one successor-list union:
+        the child's list is read (page touches plus one list I/O), its
+        tuples are counted as generated (deductions), duplicates are
+        counted against the target's current contents, and the newly
+        added successors are appended to the target's list on disk.
+        """
+        metrics = self.metrics
+        metrics.list_unions += 1
+        metrics.list_reads += 1
+        self.store.read_list(child)
+
+        source_bits = self.lists[child] | (1 << child)
+        read_tuples = self.store.length(child)
+        metrics.tuple_io += read_tuples
+        metrics.tuples_generated += read_tuples
+
+        before = self.lists[target]
+        # ``child`` itself is an immediate successor already present in
+        # the target's restructured list, so only the child's proper
+        # successor list can contribute new entries.
+        added = (source_bits & ~before).bit_count()
+        metrics.duplicates += read_tuples - added
+
+        self.lists[target] = before | source_bits
+        self.acquired[target] = self.acquired.get(target, 0) | source_bits
+        if added:
+            self.store.append(target, added)

@@ -1,0 +1,109 @@
+"""Query and system configuration types.
+
+A :class:`Query` is either the *full* transitive closure (CTC) or a
+*partial* transitive closure (PTC) with an explicit set of source nodes
+(Section 2 of the paper).  A :class:`SystemConfig` captures the system
+parameters of Section 5.1: buffer pool size, page replacement policy,
+list placement policy, and the Hybrid algorithm's ILIMIT ratio.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.storage.page import BLOCK_CAPACITY, BLOCKS_PER_PAGE
+from repro.storage.successor_store import ListPlacementPolicy
+
+
+@dataclass(frozen=True)
+class Query:
+    """A reachability query: full closure, or closure of given sources.
+
+    ``sources is None`` means the full transitive closure of the graph;
+    otherwise the query asks for all successors of each source node
+    (a multi-source partial transitive closure).
+    """
+
+    sources: tuple[int, ...] | None = None
+
+    @classmethod
+    def full(cls) -> "Query":
+        """The full transitive closure query (CTC)."""
+        return cls(sources=None)
+
+    @classmethod
+    def ptc(cls, sources: Iterable[int]) -> "Query":
+        """A partial transitive closure query over ``sources``.
+
+        Duplicate sources are collapsed; order is preserved.
+        """
+        unique = tuple(dict.fromkeys(sources))
+        if not unique:
+            raise ConfigurationError("a PTC query needs at least one source node")
+        return cls(sources=unique)
+
+    @property
+    def is_full(self) -> bool:
+        """Whether this query computes the complete closure."""
+        return self.sources is None
+
+    @property
+    def selectivity(self) -> int | None:
+        """The number of source nodes (``s`` in the paper), or None for CTC."""
+        return None if self.sources is None else len(self.sources)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.is_full:
+            return "Query.full()"
+        return f"Query.ptc(s={len(self.sources or ())})"
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """The system parameters of one experiment (Section 5.1).
+
+    Attributes
+    ----------
+    buffer_pages:
+        Size of the buffer pool ``M`` (the paper uses 10, 20 and 50).
+    page_policy:
+        Page replacement policy name (``lru``, ``mru``, ``fifo``,
+        ``clock``, ``random``).
+    list_policy:
+        List placement policy applied on page splits.
+    ilimit:
+        Fraction of the buffer pool reserved for the Hybrid algorithm's
+        diagonal block; 0 disables blocking (making Hybrid identical to
+        BTC, as in Figure 6's ``HYB-0`` curve).  Ignored by the other
+        algorithms.
+    policy_seed:
+        Seed for the ``random`` replacement policy.
+    blocks_per_page / block_capacity:
+        Successor-list page geometry.  Defaults to the paper's 30
+        blocks of 15 successors; the block-size ablation benchmark
+        sweeps these.
+    """
+
+    buffer_pages: int = 20
+    page_policy: str = "lru"
+    list_policy: ListPlacementPolicy = ListPlacementPolicy.MOVE_SELF
+    ilimit: float = 0.2
+    policy_seed: int = 0
+    blocks_per_page: int = BLOCKS_PER_PAGE
+    block_capacity: int = BLOCK_CAPACITY
+
+    def __post_init__(self) -> None:
+        if self.buffer_pages <= 0:
+            raise ConfigurationError(
+                f"buffer_pages must be positive, got {self.buffer_pages}"
+            )
+        if not 0.0 <= self.ilimit <= 1.0:
+            raise ConfigurationError(f"ilimit must be in [0, 1], got {self.ilimit}")
+        if self.blocks_per_page <= 0 or self.block_capacity <= 0:
+            raise ConfigurationError(
+                "blocks_per_page and block_capacity must both be positive"
+            )
+        if isinstance(self.list_policy, str):
+            object.__setattr__(self, "list_policy", ListPlacementPolicy(self.list_policy))

@@ -1,0 +1,54 @@
+"""Algorithm registry: the paper's candidate suite by name.
+
+The names follow Section 4.1 of the paper:
+
+========  ==========================================================
+``btc``   basic algorithm with the marking optimisation (Section 3.1)
+``hyb``   Hybrid algorithm with diagonal blocking (Section 3.2)
+``bj``    BFS algorithm / single-parent optimisation (Section 3.3)
+``srch``  Search algorithm, one search per source node (Section 3.4)
+``spn``   Spanning Tree algorithm (Section 3.5)
+``jkb``   Compute_Tree, single source-clustered relation (Section 3.6)
+``jkb2``  Compute_Tree with the dual representation (Section 4.1)
+========  ==========================================================
+
+Algorithm objects are cheap, stateless-between-runs factories; create a
+fresh one per run if in doubt.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.core.base import TwoPhaseAlgorithm
+from repro.core.bfs import BjAlgorithm
+from repro.core.btc import BtcAlgorithm
+from repro.core.compute_tree import ComputeTreeAlgorithm
+from repro.core.hybrid import HybridAlgorithm
+from repro.core.search import SearchAlgorithm
+from repro.core.spanning_tree import SpanningTreeAlgorithm
+from repro.errors import UnknownAlgorithmError
+
+_FACTORIES: dict[str, Callable[[], TwoPhaseAlgorithm]] = {
+    "btc": BtcAlgorithm,
+    "hyb": HybridAlgorithm,
+    "bj": BjAlgorithm,
+    "srch": SearchAlgorithm,
+    "spn": SpanningTreeAlgorithm,
+    "jkb": lambda: ComputeTreeAlgorithm(dual_representation=False),
+    "jkb2": lambda: ComputeTreeAlgorithm(dual_representation=True),
+}
+
+ALGORITHM_NAMES: tuple[str, ...] = tuple(_FACTORIES)
+"""All registered algorithm names, in the paper's order."""
+
+
+def make_algorithm(name: str) -> TwoPhaseAlgorithm:
+    """Instantiate an algorithm by its paper name (case-insensitive)."""
+    factory = _FACTORIES.get(name.lower())
+    if factory is None:
+        valid = ", ".join(ALGORITHM_NAMES)
+        raise UnknownAlgorithmError(
+            f"unknown algorithm {name!r}; valid names: {valid}"
+        )
+    return factory()

@@ -1,0 +1,54 @@
+"""The result of one algorithm execution."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.query import Query, SystemConfig
+from repro.graphs.analysis import bitset_to_nodes
+from repro.metrics.counters import MetricSet
+
+
+@dataclass
+class ClosureResult:
+    """Answer tuples plus the full cost profile of the run.
+
+    ``successor_bits`` maps each answered node to a bitset of its
+    proper successors (bit ``j`` set means the tuple ``(node, j)`` is
+    in the answer).  For a full-closure query every node of the graph
+    is answered; for a selection query only the source nodes are.
+    """
+
+    algorithm: str
+    query: Query
+    system: SystemConfig
+    metrics: MetricSet
+    successor_bits: dict[int, int] = field(default_factory=dict)
+    magic_height: float = 0.0
+    magic_width: float = 0.0
+    magic_max_level: int = 0
+    magic_nodes: int = 0
+    magic_arcs: int = 0
+
+    def successors_of(self, node: int) -> list[int]:
+        """The sorted successors of ``node`` in the answer."""
+        return bitset_to_nodes(self.successor_bits.get(node, 0))
+
+    def tuples(self) -> list[tuple[int, int]]:
+        """All answer tuples, sorted.  Intended for tests and examples;
+        for the paper-scale closures prefer :attr:`successor_bits`.
+        """
+        pairs = []
+        for node in sorted(self.successor_bits):
+            for successor in bitset_to_nodes(self.successor_bits[node]):
+                pairs.append((node, successor))
+        return pairs
+
+    @property
+    def num_tuples(self) -> int:
+        """Size of the answer (number of (source, successor) pairs)."""
+        return sum(bits.bit_count() for bits in self.successor_bits.values())
+
+    def reaches(self, src: int, dst: int) -> bool:
+        """Whether the answer contains the tuple (src, dst)."""
+        return bool((self.successor_bits.get(src, 0) >> dst) & 1)

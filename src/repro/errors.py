@@ -1,0 +1,55 @@
+"""Exception hierarchy for the ``repro`` package.
+
+All exceptions raised by this package derive from :class:`ReproError`, so
+callers can catch the package's failures with a single ``except`` clause
+while still distinguishing specific conditions when they need to.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class CyclicGraphError(ReproError):
+    """A DAG-only operation was applied to a graph containing a cycle.
+
+    The paper studies acyclic graphs, relying on condensation to reduce
+    cyclic inputs (see :mod:`repro.graphs.condensation`).  Entry points
+    that require acyclic input raise this error instead of silently
+    producing wrong answers.
+    """
+
+
+class InvalidNodeError(ReproError):
+    """A node identifier is outside the graph's ``0..n-1`` node range."""
+
+
+class BufferPoolError(ReproError):
+    """Base class for buffer-manager failures."""
+
+
+class BufferPoolExhaustedError(BufferPoolError):
+    """A page fault occurred while every frame in the pool was pinned.
+
+    The Hybrid algorithm catches this condition to trigger *dynamic
+    reblocking* (shrinking its pinned diagonal block, Section 3.2 of the
+    paper); any other occurrence indicates a configuration error.
+    """
+
+
+class PageNotPinnedError(BufferPoolError):
+    """An unpin was requested for a page that is not currently pinned."""
+
+
+class StorageError(ReproError):
+    """Inconsistent use of the simulated storage layer."""
+
+
+class UnknownAlgorithmError(ReproError):
+    """An algorithm name was not found in the registry."""
+
+
+class ConfigurationError(ReproError):
+    """An experiment or system configuration value is invalid."""

@@ -1,0 +1,87 @@
+"""CSV export of regenerated tables and figures.
+
+``run_all`` prints text tables; this module writes the same data as
+CSV files so the series can be plotted or diffed against the paper's
+numbers with external tools::
+
+    python -m repro.experiments.export --profile default --out results/
+
+writes ``table2.csv`` .. ``figure14_d.csv`` under ``results/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import sys
+from pathlib import Path
+
+from repro.experiments.config import PROFILES, get_profile
+from repro.experiments.figures import ALL_FIGURES, FigureData
+from repro.experiments.tables import table2, table3, table4
+
+_TABLES = {"table2": table2, "table3": table3, "table4": table4}
+
+
+def write_rows(path: Path, rows: list[dict[str, object]]) -> None:
+    """Write dictionaries as one CSV file (columns from the first row)."""
+    if not rows:
+        path.write_text("")
+        return
+    with path.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=list(rows[0].keys()))
+        writer.writeheader()
+        writer.writerows(rows)
+
+
+def figure_rows(data: FigureData) -> list[dict[str, object]]:
+    """Flatten one figure panel into x/series rows."""
+    rows = []
+    for index, x in enumerate(data.xs):
+        row: dict[str, object] = {data.x_label: x}
+        for label, values in data.series.items():
+            row[label] = values[index] if index < len(values) else ""
+        rows.append(row)
+    return rows
+
+
+def export_all(profile_name: str, out_dir: Path, only: list[str] | None = None) -> list[Path]:
+    """Regenerate the selected experiments and write their CSV files."""
+    profile = get_profile(profile_name)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    written: list[Path] = []
+    selected = only if only else [*_TABLES, *ALL_FIGURES]
+
+    for name in selected:
+        if name in _TABLES:
+            path = out_dir / f"{name}.csv"
+            write_rows(path, _TABLES[name](profile))
+            written.append(path)
+        elif name in ALL_FIGURES:
+            result = ALL_FIGURES[name](profile)
+            panels = {"": result} if isinstance(result, FigureData) else result
+            for panel_name, data in panels.items():
+                suffix = f"_{panel_name}" if panel_name else ""
+                path = out_dir / f"{name}{suffix}.csv"
+                write_rows(path, figure_rows(data))
+                written.append(path)
+        else:
+            valid = ", ".join([*_TABLES, *ALL_FIGURES])
+            raise SystemExit(f"unknown experiment {name!r}; valid: {valid}")
+    return written
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--profile", choices=sorted(PROFILES), default="smoke")
+    parser.add_argument("--out", default="results", help="output directory")
+    parser.add_argument("--only", nargs="*", default=None)
+    args = parser.parse_args(argv)
+    written = export_all(args.profile, Path(args.out), args.only)
+    for path in written:
+        print(path)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,38 @@
+"""Query specifications for the experiment harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.query import Query
+from repro.graphs.datasets import sample_sources
+from repro.graphs.digraph import Digraph
+
+
+@dataclass(frozen=True)
+class QuerySpec:
+    """A query shape: full closure, or a selection of ``s`` sources.
+
+    The paper repeats each selection experiment with several randomly
+    drawn source sets (Section 5.2); :meth:`materialise` draws one such
+    set deterministically from ``sample_index``.
+    """
+
+    selectivity: int | None = None  # None = full closure
+
+    @classmethod
+    def full(cls) -> "QuerySpec":
+        """The complete-closure query shape (CTC)."""
+        return cls(selectivity=None)
+
+    @classmethod
+    def selection(cls, s: int) -> "QuerySpec":
+        """A partial-closure query shape with ``s`` source nodes."""
+        return cls(selectivity=s)
+
+    def materialise(self, graph: Digraph, sample_index: int = 0) -> Query:
+        """Draw a concrete query for ``graph``."""
+        if self.selectivity is None:
+            return Query.full()
+        sources = sample_sources(graph, self.selectivity, seed=1000 + sample_index)
+        return Query.ptc(sources)

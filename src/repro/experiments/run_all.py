@@ -1,0 +1,90 @@
+"""Regenerate every table and figure of the paper in one run.
+
+Usage::
+
+    python -m repro.experiments.run_all --profile default
+    python -m repro.experiments.run_all --profile paper --only table4 figure8
+
+Output goes to stdout and (unless ``--no-file``) to
+``experiments_output_<profile>.txt`` in the current directory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.config import PROFILES, get_profile
+from repro.experiments.figures import ALL_FIGURES, FigureData
+from repro.experiments.tables import table2, table3, table4
+from repro.metrics.report import format_table
+
+_TABLES = {
+    "table2": lambda profile: format_table(
+        table2(profile), title="Table 2. Graph parameters"
+    ),
+    "table3": lambda profile: format_table(
+        table3(profile), title="Table 3. I/O and CPU cost of BTC (G6, CTC)"
+    ),
+    "table4": lambda profile: format_table(
+        table4(profile), title="Table 4. JKB2 vs BTC for PTC queries (by width)"
+    ),
+}
+
+
+def _render_figure(result: FigureData | dict[str, FigureData]) -> str:
+    if isinstance(result, FigureData):
+        return result.render()
+    return "\n\n".join(panel.render() for panel in result.values())
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--profile", choices=sorted(PROFILES), default="default",
+        help="scale profile to run at (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--only", nargs="*", default=None,
+        help="subset of experiments, e.g. table2 figure8 (default: all)",
+    )
+    parser.add_argument(
+        "--no-file", action="store_true",
+        help="print to stdout only, do not write the output file",
+    )
+    args = parser.parse_args(argv)
+    profile = get_profile(args.profile)
+
+    experiments: dict[str, object] = {}
+    experiments.update(_TABLES)
+    experiments.update(ALL_FIGURES)
+    selected = args.only if args.only else list(experiments)
+    unknown = [name for name in selected if name not in experiments]
+    if unknown:
+        parser.error(f"unknown experiments: {', '.join(unknown)}")
+
+    sections = [f"# Reproduction run, profile={profile.name} "
+                f"(n={profile.num_nodes}, {profile.graphs_per_family} graphs/family, "
+                f"{profile.source_samples} source samples)"]
+    for name in selected:
+        start = time.perf_counter()
+        runner = experiments[name]
+        if name in _TABLES:
+            text = runner(profile)
+        else:
+            text = _render_figure(runner(profile))
+        elapsed = time.perf_counter() - start
+        sections.append(f"## {name}  ({elapsed:.1f}s)\n{text}")
+        print(sections[-1], flush=True)
+
+    if not args.no_file:
+        path = f"experiments_output_{profile.name}.txt"
+        with open(path, "w") as handle:
+            handle.write("\n\n".join(sections) + "\n")
+        print(f"\n[written to {path}]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,113 @@
+"""Experiment runner: execute algorithms and average their metrics.
+
+The paper reports, for every data point, the average over five random
+graphs per family and five source-node sets per selection query
+(Section 5.2).  :func:`average_runs` reproduces that protocol at a
+configurable number of repetitions.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from repro.core.query import SystemConfig
+from repro.core.registry import make_algorithm
+from repro.core.result import ClosureResult
+from repro.experiments.config import ScaleProfile
+from repro.experiments.queries import QuerySpec
+from repro.graphs.datasets import GraphFamily, graph_family
+from repro.graphs.digraph import Digraph
+from repro.storage.iostats import Phase
+
+
+def run_single(
+    algorithm: str,
+    graph: Digraph,
+    query_spec: QuerySpec,
+    system: SystemConfig | None = None,
+    sample_index: int = 0,
+) -> ClosureResult:
+    """Run one algorithm once on one graph with one drawn query."""
+    query = query_spec.materialise(graph, sample_index)
+    return make_algorithm(algorithm).run(graph, query, system or SystemConfig())
+
+
+@dataclass(frozen=True)
+class AveragedMetrics:
+    """Metric averages over repeated runs of one experimental cell."""
+
+    algorithm: str
+    runs: int
+    total_io: float
+    restructure_io: float
+    compute_io: float
+    tuples_generated: float
+    duplicates: float
+    distinct_tuples: float
+    output_tuples: float
+    list_unions: float
+    marking_percentage: float
+    selection_efficiency: float
+    avg_unmarked_locality: float
+    hit_ratio: float
+    answer_tuples: float
+
+    @classmethod
+    def from_results(cls, algorithm: str, results: list[ClosureResult]) -> "AveragedMetrics":
+        """Average the headline metrics of several runs."""
+
+        def mean(values: Iterable[float]) -> float:
+            values = list(values)
+            return sum(values) / len(values) if values else 0.0
+
+        summaries = [r.metrics for r in results]
+        return cls(
+            algorithm=algorithm,
+            runs=len(results),
+            total_io=mean(m.total_io for m in summaries),
+            restructure_io=mean(
+                m.io.reads_in(Phase.RESTRUCTURE) + m.io.writes_in(Phase.RESTRUCTURE)
+                for m in summaries
+            ),
+            compute_io=mean(
+                m.io.reads_in(Phase.COMPUTE) + m.io.writes_in(Phase.COMPUTE)
+                for m in summaries
+            ),
+            tuples_generated=mean(m.tuples_generated for m in summaries),
+            duplicates=mean(m.duplicates for m in summaries),
+            distinct_tuples=mean(m.distinct_tuples for m in summaries),
+            output_tuples=mean(m.output_tuples for m in summaries),
+            list_unions=mean(m.list_unions for m in summaries),
+            marking_percentage=mean(m.marking_percentage for m in summaries),
+            selection_efficiency=mean(m.selection_efficiency for m in summaries),
+            avg_unmarked_locality=mean(m.avg_unmarked_locality for m in summaries),
+            hit_ratio=mean(m.hit_ratio() for m in summaries),
+            answer_tuples=mean(r.num_tuples for r in results),
+        )
+
+
+def average_runs(
+    algorithm: str,
+    family: str | GraphFamily,
+    query_spec: QuerySpec,
+    profile: ScaleProfile,
+    system: SystemConfig | None = None,
+) -> AveragedMetrics:
+    """Run one experimental cell with the profile's repetition protocol.
+
+    One run per (graph seed, source-sample) combination: the paper's
+    5-graphs x 5-source-sets protocol at the profile's counts.
+    """
+    if isinstance(family, str):
+        family = graph_family(family)
+    system = system or SystemConfig()
+    results = []
+    for graph_seed in range(profile.graphs_per_family):
+        graph = profile.build(family, seed=graph_seed)
+        samples = 1 if query_spec.selectivity is None else profile.source_samples
+        for sample_index in range(samples):
+            results.append(
+                run_single(algorithm, graph, query_spec, system, sample_index)
+            )
+    return AveragedMetrics.from_results(algorithm, results)

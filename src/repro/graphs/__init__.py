@@ -1,0 +1,52 @@
+"""Graph substrate: graph type, workload generator and DAG analysis.
+
+* :mod:`repro.graphs.digraph` -- the in-memory directed graph type used
+  throughout the package.
+* :mod:`repro.graphs.generator` -- the synthetic DAG generator with the
+  paper's (n, F, l) parameterisation (Section 5.2).
+* :mod:`repro.graphs.datasets` -- the canonical G1..G12 graph suite.
+* :mod:`repro.graphs.toposort` -- DFS, topological sorting, reachability.
+* :mod:`repro.graphs.analysis` -- node levels, arc locality, transitive
+  reduction and the rectangle model (Section 5.3).
+* :mod:`repro.graphs.condensation` -- Tarjan SCCs and the condensation
+  graph, the standard preprocessing for cyclic inputs (Section 1).
+* :mod:`repro.graphs.magic` -- the magic subgraph of a selection query.
+"""
+
+from repro.graphs.analysis import (
+    GraphProfile,
+    arc_locality,
+    node_levels,
+    profile_graph,
+    transitive_closure_sets,
+    transitive_closure_size,
+    transitive_reduction_arcs,
+)
+from repro.graphs.condensation import condensation, strongly_connected_components
+from repro.graphs.datasets import GRAPH_FAMILIES, GraphFamily, build_graph, graph_family
+from repro.graphs.digraph import Digraph
+from repro.graphs.generator import generate_dag
+from repro.graphs.magic import magic_subgraph
+from repro.graphs.toposort import is_acyclic, reachable_from, topological_sort
+
+__all__ = [
+    "Digraph",
+    "GRAPH_FAMILIES",
+    "GraphFamily",
+    "GraphProfile",
+    "arc_locality",
+    "build_graph",
+    "condensation",
+    "generate_dag",
+    "graph_family",
+    "is_acyclic",
+    "magic_subgraph",
+    "node_levels",
+    "profile_graph",
+    "reachable_from",
+    "strongly_connected_components",
+    "topological_sort",
+    "transitive_closure_sets",
+    "transitive_closure_size",
+    "transitive_reduction_arcs",
+]

@@ -1,0 +1,158 @@
+"""Strongly connected components and the condensation graph.
+
+The paper studies acyclic graphs, citing the well-known observation that
+a cyclic graph's *condensation* (strongly connected components merged
+into single nodes) can be computed cheaply relative to the closure of
+the condensation (Section 1, citing Yannakakis [28]).  This module
+provides that preprocessing so the package as a whole accepts arbitrary
+directed graphs:
+
+>>> from repro.graphs.digraph import Digraph
+>>> g = Digraph.from_arcs(3, [(0, 1), (1, 0), (1, 2)])
+>>> result = condensation(g)
+>>> result.dag.num_nodes
+2
+>>> sorted(result.members[result.component_of[0]])
+[0, 1]
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graphs.digraph import Digraph
+
+
+def strongly_connected_components(graph: Digraph) -> list[list[int]]:
+    """Tarjan's algorithm, iteratively, in reverse topological order.
+
+    The returned components are ordered so that every arc of the
+    condensation goes from a later component to an earlier one (i.e.
+    the list is a reverse topological order of the condensation).
+    """
+    n = graph.num_nodes
+    UNVISITED = -1
+    index_of = [UNVISITED] * n
+    lowlink = [0] * n
+    on_stack = [False] * n
+    scc_stack: list[int] = []
+    components: list[list[int]] = []
+    counter = 0
+
+    for root in range(n):
+        if index_of[root] != UNVISITED:
+            continue
+        work: list[tuple[int, int]] = [(root, 0)]
+        while work:
+            node, child_index = work[-1]
+            if child_index == 0:
+                index_of[node] = lowlink[node] = counter
+                counter += 1
+                scc_stack.append(node)
+                on_stack[node] = True
+            successors = graph.successors(node)
+            recursed = False
+            while child_index < len(successors):
+                child = successors[child_index]
+                child_index += 1
+                if index_of[child] == UNVISITED:
+                    work[-1] = (node, child_index)
+                    work.append((child, 0))
+                    recursed = True
+                    break
+                if on_stack[child] and index_of[child] < lowlink[node]:
+                    lowlink[node] = index_of[child]
+            if recursed:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                if lowlink[node] < lowlink[parent]:
+                    lowlink[parent] = lowlink[node]
+            if lowlink[node] == index_of[node]:
+                component = []
+                while True:
+                    member = scc_stack.pop()
+                    on_stack[member] = False
+                    component.append(member)
+                    if member == node:
+                        break
+                components.append(component)
+    return components
+
+
+@dataclass(frozen=True)
+class Condensation:
+    """The condensation of a directed graph.
+
+    Attributes
+    ----------
+    dag:
+        The acyclic condensation graph; its nodes are component ids.
+    component_of:
+        ``component_of[v]`` is the component id of original node ``v``.
+    members:
+        ``members[c]`` lists the original nodes of component ``c``.
+    self_loops:
+        Original nodes carrying a self-loop arc (they reach themselves
+        even when their component is trivial).
+    """
+
+    dag: Digraph
+    component_of: list[int]
+    members: list[list[int]]
+    self_loops: frozenset[int]
+
+
+def condensation(graph: Digraph) -> Condensation:
+    """Merge strongly connected components into a DAG."""
+    components = strongly_connected_components(graph)
+    component_of = [0] * graph.num_nodes
+    for comp_id, component in enumerate(components):
+        for node in component:
+            component_of[node] = comp_id
+
+    arcs = set()
+    self_loops = set()
+    for src, dst in graph.arcs():
+        if src == dst:
+            self_loops.add(src)
+            continue
+        a, b = component_of[src], component_of[dst]
+        if a != b:
+            arcs.add((a, b))
+    dag = Digraph.from_arcs(len(components), arcs)
+    return Condensation(
+        dag=dag,
+        component_of=component_of,
+        members=components,
+        self_loops=frozenset(self_loops),
+    )
+
+
+def expand_closure_to_original(
+    cond: Condensation, component_closure: dict[int, set[int]]
+) -> dict[int, set[int]]:
+    """Translate a closure over condensation nodes back to original nodes.
+
+    ``component_closure[c]`` must contain the component ids reachable
+    from component ``c`` (c itself excluded).  In the original graph a
+    node reaches every member of its own component except itself, plus
+    every member of every reachable component.
+    """
+    result: dict[int, set[int]] = {}
+    for comp_id, members in enumerate(cond.members):
+        reached_nodes: set[int] = set()
+        for other in component_closure.get(comp_id, set()):
+            reached_nodes.update(cond.members[other])
+        nontrivial = len(members) > 1
+        for node in members:
+            node_reaches = set(reached_nodes)
+            if nontrivial:
+                # Inside a non-trivial SCC every member (including the
+                # node itself) is reachable from every member.
+                node_reaches.update(members)
+            elif node in cond.self_loops:
+                node_reaches.add(node)
+            result[node] = node_reaches
+    return result

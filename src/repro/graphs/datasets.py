@@ -1,0 +1,103 @@
+"""The canonical graph suite of the paper (Tables 1 and 2).
+
+Twelve graph families G1..G12 are defined by the cross product of the
+average out-degree ``F`` in {2, 5, 20, 50} and the generation locality
+``l`` in {20, 200, 2000}, all with n = 2000 nodes.  Selection queries
+draw ``s`` source nodes from {2, 5, 20, 200, 500, 1000, 2000}.
+
+The experiments in this package accept a ``scale`` factor so that the
+whole suite can be run quickly at reduced size: scaling divides the
+node count and the localities by the same factor, which preserves the
+qualitative shape of each family (relative density and locality) while
+shrinking closures quadratically.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.graphs.digraph import Digraph
+from repro.graphs.generator import generate_dag
+
+PAPER_NUM_NODES = 2000
+"""Number of nodes in every graph of the paper's suite."""
+
+OUT_DEGREES = (2, 5, 20, 50)
+"""The F values of Table 1."""
+
+LOCALITIES = (20, 200, 2000)
+"""The l values of Table 1."""
+
+SELECTIVITIES = (2, 5, 20, 200, 500, 1000, 2000)
+"""The s values (number of source nodes) of Table 1."""
+
+
+@dataclass(frozen=True)
+class GraphFamily:
+    """One row of Table 2: a (name, F, l) workload family."""
+
+    name: str
+    avg_out_degree: int
+    locality: int
+
+    def generate(self, seed: int = 0, num_nodes: int = PAPER_NUM_NODES, scale: int = 1) -> Digraph:
+        """Generate one graph of this family.
+
+        ``scale`` > 1 shrinks the graph: nodes and locality are divided
+        by ``scale`` (locality never drops below 1).  The paper
+        generated five graphs per family; vary ``seed`` to do the same.
+        """
+        if scale < 1:
+            raise ConfigurationError(f"scale must be >= 1, got {scale}")
+        n = max(2, num_nodes // scale)
+        locality = max(1, self.locality // scale)
+        return generate_dag(n, self.avg_out_degree, locality, seed=_family_seed(self.name, seed))
+
+
+def _family_seed(name: str, seed: int) -> int:
+    """Derive a deterministic per-family seed so graphs are reproducible.
+
+    ``zlib.crc32`` is used instead of :func:`hash` because Python's
+    string hashing is randomised per process.
+    """
+    return (zlib.crc32(name.encode()) ^ (seed * 0x9E3779B1)) & 0x7FFFFFFF
+
+
+# Table 2's ordering: F varies slowest, l fastest.
+GRAPH_FAMILIES: tuple[GraphFamily, ...] = tuple(
+    GraphFamily(name=f"G{index + 1}", avg_out_degree=f, locality=l)
+    for index, (f, l) in enumerate(
+        (f, l) for f in OUT_DEGREES for l in LOCALITIES
+    )
+)
+
+
+def graph_family(name: str) -> GraphFamily:
+    """Look up a family by name (``"G1"`` .. ``"G12"``)."""
+    for family in GRAPH_FAMILIES:
+        if family.name.lower() == name.lower():
+            return family
+    valid = ", ".join(family.name for family in GRAPH_FAMILIES)
+    raise ConfigurationError(f"unknown graph family {name!r}; valid families: {valid}")
+
+
+def build_graph(
+    name: str, seed: int = 0, num_nodes: int = PAPER_NUM_NODES, scale: int = 1
+) -> Digraph:
+    """Generate one graph of the named family (convenience wrapper)."""
+    return graph_family(name).generate(seed=seed, num_nodes=num_nodes, scale=scale)
+
+
+def sample_sources(graph: Digraph, count: int, seed: int = 0) -> tuple[int, ...]:
+    """Draw a selection query's source set, as the paper does (Section 5.2).
+
+    Sources are sampled uniformly without replacement; ``count`` is
+    clamped to the graph size so scaled-down suites can reuse the
+    paper's selectivity values.
+    """
+    rng = random.Random(seed)
+    count = min(count, graph.num_nodes)
+    return tuple(rng.sample(range(graph.num_nodes), count))

@@ -1,0 +1,172 @@
+"""A compact directed-graph type.
+
+Nodes are the integers ``0 .. n-1`` and arcs are ordered pairs stored in
+per-node successor lists.  This is deliberately minimal: the heavy
+machinery (paged storage, buffer management) lives in
+:mod:`repro.storage`; :class:`Digraph` is only the logical graph handed
+to the generator, the analysis routines and the algorithms.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.errors import InvalidNodeError
+
+
+class Digraph:
+    """A directed graph over nodes ``0 .. n-1``.
+
+    Successor lists are kept sorted and duplicate-free, matching the
+    paper's input relations (duplicate tuples produced by the graph
+    generation routine were eliminated, Section 5.3, footnote 1).
+    """
+
+    __slots__ = ("_succ", "_pred", "_arc_count")
+
+    def __init__(self, num_nodes: int) -> None:
+        if num_nodes < 0:
+            raise InvalidNodeError(f"number of nodes must be non-negative, got {num_nodes}")
+        self._succ: list[list[int]] = [[] for _ in range(num_nodes)]
+        self._pred: list[list[int]] | None = None
+        self._arc_count = 0
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_arcs(cls, num_nodes: int, arcs: Iterable[tuple[int, int]]) -> "Digraph":
+        """Build a graph from an iterable of (source, destination) arcs.
+
+        Duplicate arcs are silently collapsed.
+        """
+        graph = cls(num_nodes)
+        by_source: dict[int, set[int]] = {}
+        for src, dst in arcs:
+            graph._check(src)
+            graph._check(dst)
+            by_source.setdefault(src, set()).add(dst)
+        for src, dsts in by_source.items():
+            graph._succ[src] = sorted(dsts)
+            graph._arc_count += len(dsts)
+        return graph
+
+    def add_arc(self, src: int, dst: int) -> bool:
+        """Add the arc (src, dst); return ``False`` if already present."""
+        self._check(src)
+        self._check(dst)
+        successors = self._succ[src]
+        lo, hi = 0, len(successors)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if successors[mid] < dst:
+                lo = mid + 1
+            else:
+                hi = mid
+        if lo < len(successors) and successors[lo] == dst:
+            return False
+        successors.insert(lo, dst)
+        self._arc_count += 1
+        self._pred = None
+        return True
+
+    # -- accessors -----------------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes (``n`` in the paper)."""
+        return len(self._succ)
+
+    @property
+    def num_arcs(self) -> int:
+        """Number of arcs (``|G|`` in the paper)."""
+        return self._arc_count
+
+    def successors(self, node: int) -> list[int]:
+        """The sorted immediate successors of ``node``.
+
+        The returned list is the graph's own; callers must not mutate it.
+        """
+        self._check(node)
+        return self._succ[node]
+
+    def predecessors(self, node: int) -> list[int]:
+        """The sorted immediate predecessors of ``node`` (computed lazily)."""
+        self._check(node)
+        if self._pred is None:
+            pred: list[list[int]] = [[] for _ in range(self.num_nodes)]
+            for src in range(self.num_nodes):
+                for dst in self._succ[src]:
+                    pred[dst].append(src)
+            self._pred = pred
+        return self._pred[node]
+
+    def out_degree(self, node: int) -> int:
+        """Number of immediate successors of ``node``."""
+        self._check(node)
+        return len(self._succ[node])
+
+    def in_degree(self, node: int) -> int:
+        """Number of immediate predecessors of ``node``."""
+        return len(self.predecessors(node))
+
+    def arcs(self) -> Iterator[tuple[int, int]]:
+        """Iterate over all arcs in (source, destination) order."""
+        for src in range(self.num_nodes):
+            for dst in self._succ[src]:
+                yield src, dst
+
+    def nodes(self) -> range:
+        """The node identifiers ``0 .. n-1``."""
+        return range(self.num_nodes)
+
+    def has_arc(self, src: int, dst: int) -> bool:
+        """Whether the arc (src, dst) is present."""
+        self._check(src)
+        self._check(dst)
+        successors = self._succ[src]
+        lo, hi = 0, len(successors)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if successors[mid] < dst:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo < len(successors) and successors[lo] == dst
+
+    def reverse(self) -> "Digraph":
+        """A new graph with every arc reversed."""
+        return Digraph.from_arcs(self.num_nodes, ((dst, src) for src, dst in self.arcs()))
+
+    def induced_subgraph(self, nodes: Iterable[int]) -> "Digraph":
+        """The subgraph induced by ``nodes``, keeping original node ids.
+
+        Arcs with either endpoint outside ``nodes`` are dropped; the
+        node-id space stays ``0 .. n-1`` so that analyses and storage
+        layouts remain comparable with the parent graph.
+        """
+        keep = set(nodes)
+        for node in keep:
+            self._check(node)
+        arcs = (
+            (src, dst)
+            for src in keep
+            for dst in self._succ[src]
+            if dst in keep
+        )
+        return Digraph.from_arcs(self.num_nodes, arcs)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Digraph):
+            return NotImplemented
+        return self._succ == other._succ
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Digraph(n={self.num_nodes}, arcs={self.num_arcs})"
+
+    # -- internals -----------------------------------------------------------
+
+    def _check(self, node: int) -> None:
+        if not 0 <= node < len(self._succ):
+            raise InvalidNodeError(
+                f"node {node} outside the graph's range 0..{len(self._succ) - 1}"
+            )

@@ -1,0 +1,74 @@
+"""Synthetic DAG workload generator.
+
+Section 5.2 of the paper: graphs are generated from three parameters --
+the number of nodes ``n``, the average out-degree ``F`` and the
+*generation locality* ``l``.
+
+* The out-degree of each node is drawn uniformly from ``[0, 2F]``.
+* Arcs out of node ``i`` go to uniformly chosen higher-numbered nodes in
+  the range ``[i+1, min(i+l, n)]`` (the paper numbers nodes from 1; with
+  0-based ids the range is ``[i+1, min(i+l, n-1)]``), which makes the
+  graph acyclic by construction.
+* Duplicate arcs are eliminated, and the locality bounds the achievable
+  out-degree (footnote 1 of the paper), so the realised arc count can be
+  below ``n * F`` -- especially for G10 (F=50, l=20).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import ConfigurationError
+from repro.graphs.digraph import Digraph
+
+
+def generate_dag(
+    num_nodes: int,
+    avg_out_degree: float,
+    locality: int,
+    seed: int | None = None,
+) -> Digraph:
+    """Generate a random DAG with the paper's (n, F, l) parameterisation.
+
+    Parameters
+    ----------
+    num_nodes:
+        Number of nodes ``n`` (the paper uses 2000).
+    avg_out_degree:
+        The parameter ``F``; each node's target out-degree is uniform on
+        the integers ``0 .. 2F``.
+    locality:
+        The generation locality ``l``; arcs out of node ``i`` reach at
+        most ``l`` positions ahead.
+    seed:
+        Seed for the pseudo-random generator.  Runs with the same seed
+        and parameters produce identical graphs.
+    """
+    if num_nodes <= 0:
+        raise ConfigurationError(f"num_nodes must be positive, got {num_nodes}")
+    if avg_out_degree < 0:
+        raise ConfigurationError(f"avg_out_degree must be non-negative, got {avg_out_degree}")
+    if locality < 1:
+        raise ConfigurationError(f"locality must be at least 1, got {locality}")
+
+    rng = random.Random(seed)
+    max_degree = int(round(2 * avg_out_degree))
+    graph = Digraph(num_nodes)
+
+    for node in range(num_nodes):
+        last_target = min(node + locality, num_nodes - 1)
+        window = last_target - node  # number of admissible targets
+        if window <= 0:
+            continue
+        wanted = rng.randint(0, max_degree)
+        if wanted <= 0:
+            continue
+        if wanted >= window:
+            # The locality window caps the out-degree: take every target.
+            targets: list[int] | range = range(node + 1, last_target + 1)
+        else:
+            targets = rng.sample(range(node + 1, last_target + 1), wanted)
+        for target in targets:
+            graph.add_arc(node, target)
+
+    return graph

@@ -1,0 +1,43 @@
+"""The magic subgraph of a selection (partial transitive closure) query.
+
+For a multi-source query with source set ``S``, the *magic graph*
+``G_m`` comprises the nodes and arcs reachable from the nodes in ``S``
+(Section 2 of the paper).  Every algorithm identifies it during its
+restructuring phase, so that the computation phase only expands nodes
+that can possibly contribute to the answer.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from repro.graphs.digraph import Digraph
+from repro.graphs.toposort import reachable_from
+
+
+@dataclass(frozen=True)
+class MagicGraph:
+    """Nodes and arcs reachable from a query's source nodes.
+
+    ``nodes`` keeps the original node ids.  ``arcs`` counts the arcs of
+    the induced subgraph; because every node in the magic graph is
+    reachable from a source, every outgoing arc of a magic node stays
+    inside the magic graph, so the arc set is exactly the union of the
+    magic nodes' successor lists.
+    """
+
+    sources: tuple[int, ...]
+    nodes: frozenset[int]
+    num_arcs: int
+
+    def __contains__(self, node: int) -> bool:
+        return node in self.nodes
+
+
+def magic_subgraph(graph: Digraph, sources: Iterable[int]) -> MagicGraph:
+    """Identify the magic graph of a selection query over ``graph``."""
+    source_tuple = tuple(dict.fromkeys(sources))  # de-dup, keep order
+    nodes = reachable_from(graph, source_tuple)
+    num_arcs = sum(len(graph.successors(node)) for node in nodes)
+    return MagicGraph(sources=source_tuple, nodes=frozenset(nodes), num_arcs=num_arcs)

@@ -1,0 +1,14 @@
+"""Cost metrics for transitive closure evaluation.
+
+Section 7 of the paper surveys the many cost metrics used in the
+literature -- tuples generated, distinct tuples, tuple I/O, successor
+list I/O, list unions, page I/O, CPU time -- and shows that the
+tuple-level metrics cannot be used to predict page I/O.  This package
+therefore records *all* of them for every run, via
+:class:`~repro.metrics.counters.MetricSet`.
+"""
+
+from repro.metrics.counters import MetricSet
+from repro.metrics.report import format_table
+
+__all__ = ["MetricSet", "format_table"]

@@ -1,0 +1,143 @@
+"""The full set of cost counters collected for every algorithm run.
+
+Besides page I/O (the primary measure), the paper tracks -- and this
+reproduction records -- every higher-level metric that earlier studies
+used, so that Section 7's methodological point can be re-examined: the
+number of tuples generated (deductions, duplicates included), the
+number of distinct tuples derived, tuple I/O, successor-list I/O, the
+number of successor-list unions, the marking statistics behind the
+*marking utilisation* factor (Section 6.3.3), and the tuple counts
+behind *selection efficiency* (Section 6.3.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.storage.iostats import IoStats, Phase
+
+
+@dataclass
+class MetricSet:
+    """Counters for one execution of one algorithm on one query."""
+
+    io: IoStats = field(default_factory=IoStats)
+
+    # Tuple-level metrics (Section 7's "number of deductions" family).
+    tuples_generated: int = 0
+    """Tuples produced including duplicates (tc in Section 6.3.2)."""
+
+    duplicates: int = 0
+    """Of the generated tuples, how many were already present."""
+
+    distinct_tuples: int = 0
+    """Distinct result tuples derived across all expanded lists."""
+
+    output_tuples: int = 0
+    """Tuples in the expanded lists of the query's source nodes (stc)."""
+
+    tuple_io: int = 0
+    """Tuple-granularity I/O: successor entries read from lists."""
+
+    # Successor-list level metrics.
+    list_unions: int = 0
+    """Successor-list (or tree) union operations performed."""
+
+    list_reads: int = 0
+    """Successor-list I/O: whole-list read operations."""
+
+    # Marking statistics (Section 6.3.3).
+    arcs_considered: int = 0
+    """Arcs examined during the computation phase."""
+
+    arcs_marked: int = 0
+    """Arcs skipped by the marking optimisation."""
+
+    unmarked_locality_total: int = 0
+    """Sum of ``level(i) - level(j)`` over processed (unmarked) arcs."""
+
+    # Hybrid-specific events.
+    reblocking_events: int = 0
+    """Dynamic reblocking events (diagonal pages discarded under pressure)."""
+
+    # CPU cost (Table 3).
+    cpu_seconds: float = 0.0
+    """Measured process CPU time for the whole run."""
+
+    restructure_cpu_seconds: float = 0.0
+    """Measured process CPU time for the restructuring phase alone."""
+
+    # -- derived measures ----------------------------------------------------
+
+    @property
+    def total_io(self) -> int:
+        """Total page I/O (reads + writes), the paper's primary measure."""
+        return self.io.total_io
+
+    @property
+    def marking_percentage(self) -> float:
+        """Marked arcs as a fraction of arcs considered (Figure 11)."""
+        if self.arcs_considered == 0:
+            return 0.0
+        return self.arcs_marked / self.arcs_considered
+
+    @property
+    def selection_efficiency(self) -> float:
+        """``stc / tc`` -- what fraction of generated tuples were useful.
+
+        Section 6.3.2 defines selection efficiency as the ratio of
+        tuples belonging to the expanded successor lists of the query's
+        source nodes (``stc``) to all tuples generated (``tc``).  The
+        Search algorithm is optimal at 1.0 by construction.
+        """
+        if self.tuples_generated == 0:
+            return 1.0 if self.output_tuples == 0 else 0.0
+        return min(1.0, self.output_tuples / self.tuples_generated)
+
+    @property
+    def avg_unmarked_locality(self) -> float:
+        """Average locality of processed (irredundant) arcs (Figure 12)."""
+        processed = self.arcs_considered - self.arcs_marked
+        if processed <= 0:
+            return 0.0
+        return self.unmarked_locality_total / processed
+
+    def hit_ratio(self, phase: Phase | None = Phase.COMPUTE) -> float:
+        """Buffer-pool hit ratio (Figure 13 uses the computation phase)."""
+        return self.io.hit_ratio(phase)
+
+    def estimated_io_seconds(self, ms_per_io: float = 20.0) -> float:
+        """Estimated I/O time at 20 ms per page I/O (Table 3's model)."""
+        return self.io.estimated_io_seconds(ms_per_io)
+
+    def summary(self) -> dict[str, float | int]:
+        """A flat dictionary of the headline numbers, for reports."""
+        return {
+            "total_io": self.total_io,
+            "reads": self.io.total_reads,
+            "writes": self.io.total_writes,
+            "restructure_io": (
+                self.io.reads_in(Phase.RESTRUCTURE) + self.io.writes_in(Phase.RESTRUCTURE)
+            ),
+            "compute_io": (
+                self.io.reads_in(Phase.COMPUTE) + self.io.writes_in(Phase.COMPUTE)
+            ),
+            "writeout_io": (
+                self.io.reads_in(Phase.WRITEOUT) + self.io.writes_in(Phase.WRITEOUT)
+            ),
+            "tuples_generated": self.tuples_generated,
+            "duplicates": self.duplicates,
+            "distinct_tuples": self.distinct_tuples,
+            "output_tuples": self.output_tuples,
+            "tuple_io": self.tuple_io,
+            "list_unions": self.list_unions,
+            "list_reads": self.list_reads,
+            "arcs_considered": self.arcs_considered,
+            "arcs_marked": self.arcs_marked,
+            "marking_percentage": round(self.marking_percentage, 4),
+            "selection_efficiency": round(self.selection_efficiency, 4),
+            "avg_unmarked_locality": round(self.avg_unmarked_locality, 2),
+            "hit_ratio": round(self.hit_ratio(), 4),
+            "cpu_seconds": round(self.cpu_seconds, 4),
+            "estimated_io_seconds": round(self.estimated_io_seconds(), 3),
+        }

@@ -1,0 +1,63 @@
+"""Plain-text table rendering for experiment output.
+
+The benchmark harness prints the same rows and series the paper's
+tables and figures report; this module renders them as aligned text so
+the output is readable in a terminal and diffable across runs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Sequence[str] | None = None,
+    title: str | None = None,
+) -> str:
+    """Render ``rows`` (dictionaries) as an aligned text table.
+
+    ``columns`` fixes the column order; by default the keys of the
+    first row are used.  Floats are shown with up to four significant
+    decimals; everything else via ``str``.
+    """
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+
+    def cell(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:.4g}"
+        return str(value)
+
+    table = [[cell(row.get(column, "")) for column in columns] for row in rows]
+    widths = [
+        max(len(str(column)), *(len(line[index]) for line in table))
+        for index, column in enumerate(columns)
+    ]
+    header = "  ".join(str(column).rjust(width) for column, width in zip(columns, widths))
+    separator = "  ".join("-" * width for width in widths)
+    body = "\n".join(
+        "  ".join(value.rjust(width) for value, width in zip(line, widths)) for line in table
+    )
+    parts = [header, separator, body]
+    if title:
+        parts.insert(0, title)
+    return "\n".join(parts)
+
+
+def format_series(
+    name: str,
+    xs: Sequence[object],
+    series: Mapping[str, Sequence[object]],
+    x_label: str = "x",
+) -> str:
+    """Render figure data: one x column plus one column per curve."""
+    rows = []
+    for index, x in enumerate(xs):
+        row: dict[str, object] = {x_label: x}
+        for label, values in series.items():
+            row[label] = values[index] if index < len(values) else ""
+        rows.append(row)
+    return format_table(rows, columns=[x_label, *series.keys()], title=name)

@@ -1,0 +1,64 @@
+"""Generalized transitive closure: path aggregation over semirings.
+
+The paper's implementation framework comes from Dar's thesis,
+*"Augmenting Databases with Generalized Transitive Closure"* [7] --
+reachability is only the boolean instance of a family of path problems
+that the same successor-list machinery evaluates: shortest distances,
+critical paths, bottleneck capacities, path reliabilities, path counts.
+
+This subpackage provides that generalisation on the same simulated
+substrate:
+
+* :mod:`repro.paths.semiring` -- the algebraic structures and the
+  standard instances;
+* :mod:`repro.paths.weighted` -- a :class:`Digraph` with arc labels;
+* :mod:`repro.paths.closure` -- the two-phase evaluation of the
+  generalized closure, plus convenience wrappers
+  (:func:`shortest_distances`, :func:`critical_path_lengths`,
+  :func:`bottleneck_capacities`, :func:`path_counts`,
+  :func:`path_reliabilities`).
+
+A point the boolean study makes implicitly: the *marking* optimisation
+is sound only for plain reachability.  For any value-carrying semiring
+an alternative path may still improve (or add to) the aggregate, so
+the generalized closure must process every arc -- see
+``benchmarks/bench_generalized.py`` for what that costs.
+"""
+
+from repro.paths.closure import (
+    GeneralizedClosure,
+    bottleneck_capacities,
+    critical_path_lengths,
+    generalized_closure,
+    path_counts,
+    path_reliabilities,
+    shortest_distances,
+)
+from repro.paths.semiring import (
+    BOOLEAN,
+    COUNT,
+    MAX_MIN,
+    MAX_PLUS,
+    MAX_PROB,
+    MIN_PLUS,
+    Semiring,
+)
+from repro.paths.weighted import WeightedDigraph
+
+__all__ = [
+    "BOOLEAN",
+    "COUNT",
+    "GeneralizedClosure",
+    "MAX_MIN",
+    "MAX_PLUS",
+    "MAX_PROB",
+    "MIN_PLUS",
+    "Semiring",
+    "WeightedDigraph",
+    "bottleneck_capacities",
+    "critical_path_lengths",
+    "generalized_closure",
+    "path_counts",
+    "path_reliabilities",
+    "shortest_distances",
+]

@@ -1,0 +1,115 @@
+"""Semirings for path aggregation.
+
+A semiring ``(D, plus, times, zero, one)`` turns the transitive closure
+into a path-aggregation problem: the value of a path is the ``times``
+of its arc labels, and the aggregate for a pair (x, y) is the ``plus``
+over all x-to-y paths.  On a DAG the reverse-topological expansion of
+the study's algorithms computes exactly this aggregate, because every
+path through a child is extended exactly once.
+
+``plus`` must be commutative and associative with identity ``zero``;
+``times`` associative with identity ``one`` and distributing over
+``plus``; ``zero`` annihilates.  ``idempotent_plus`` marks semirings
+with ``plus(a, a) == a`` -- only those can terminate on cyclic inputs,
+and *none* of them admit the boolean marking optimisation, because an
+alternative path can still change the aggregate value.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Semiring:
+    """A path-aggregation algebra.
+
+    Attributes
+    ----------
+    name:
+        Identifier used in reports.
+    plus / times:
+        The aggregation (across paths) and extension (along a path)
+        operators.
+    zero / one:
+        Identities of ``plus`` and ``times``; ``zero`` is also the
+        "no path" value and is never stored in a value list.
+    idempotent_plus:
+        Whether ``plus(a, a) == a``; required for cyclic inputs.
+    """
+
+    name: str
+    plus: Callable[[object, object], object]
+    times: Callable[[object, object], object]
+    zero: object
+    one: object
+    idempotent_plus: bool
+
+    def sum(self, values) -> object:
+        """``plus`` folded over an iterable (``zero`` when empty)."""
+        total = self.zero
+        for value in values:
+            total = self.plus(total, value)
+        return total
+
+
+BOOLEAN = Semiring(
+    name="boolean",
+    plus=lambda a, b: a or b,
+    times=lambda a, b: a and b,
+    zero=False,
+    one=True,
+    idempotent_plus=True,
+)
+"""Plain reachability: the study's original problem."""
+
+MIN_PLUS = Semiring(
+    name="min_plus",
+    plus=min,
+    times=lambda a, b: a + b,
+    zero=float("inf"),
+    one=0,
+    idempotent_plus=True,
+)
+"""Shortest distances (non-negative arc weights on cyclic inputs)."""
+
+MAX_PLUS = Semiring(
+    name="max_plus",
+    plus=max,
+    times=lambda a, b: a + b,
+    zero=float("-inf"),
+    one=0,
+    idempotent_plus=True,
+)
+"""Longest / critical paths (DAGs only -- unbounded on cycles)."""
+
+MAX_MIN = Semiring(
+    name="max_min",
+    plus=max,
+    times=min,
+    zero=float("-inf"),
+    one=float("inf"),
+    idempotent_plus=True,
+)
+"""Bottleneck (widest-path) capacities."""
+
+MAX_PROB = Semiring(
+    name="max_prob",
+    plus=max,
+    times=lambda a, b: a * b,
+    zero=0.0,
+    one=1.0,
+    idempotent_plus=True,
+)
+"""Most-reliable path, with arc labels in [0, 1]."""
+
+COUNT = Semiring(
+    name="count",
+    plus=lambda a, b: a + b,
+    times=lambda a, b: a * b,
+    zero=0,
+    one=1,
+    idempotent_plus=False,
+)
+"""Number of distinct paths (DAGs only -- infinite on cycles)."""

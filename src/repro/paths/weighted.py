@@ -1,0 +1,72 @@
+"""A directed graph with labelled arcs."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.errors import InvalidNodeError
+from repro.graphs.digraph import Digraph
+
+
+class WeightedDigraph:
+    """A :class:`Digraph` whose arcs carry a label (weight).
+
+    The label domain is whatever the chosen semiring's ``times``
+    understands -- numbers for distances and capacities, probabilities
+    in [0, 1] for reliabilities.  Unlabelled construction helpers give
+    every arc the semiring-agnostic label 1.
+    """
+
+    __slots__ = ("graph", "_labels")
+
+    def __init__(self, graph: Digraph, labels: dict[tuple[int, int], object]) -> None:
+        for src, dst in labels:
+            if not graph.has_arc(src, dst):
+                raise InvalidNodeError(f"label given for missing arc ({src}, {dst})")
+        missing = [arc for arc in graph.arcs() if arc not in labels]
+        if missing:
+            raise InvalidNodeError(
+                f"{len(missing)} arcs have no label (first: {missing[0]})"
+            )
+        self.graph = graph
+        self._labels = labels
+
+    @classmethod
+    def from_labelled_arcs(
+        cls, num_nodes: int, arcs: Iterable[tuple[int, int, object]]
+    ) -> "WeightedDigraph":
+        """Build from (source, destination, label) triples.
+
+        A duplicate arc keeps the label seen last.
+        """
+        labels = {(src, dst): label for src, dst, label in arcs}
+        graph = Digraph.from_arcs(num_nodes, labels.keys())
+        return cls(graph, labels)
+
+    @classmethod
+    def uniform(cls, graph: Digraph, label: object = 1) -> "WeightedDigraph":
+        """Give every arc of ``graph`` the same label."""
+        return cls(graph, {arc: label for arc in graph.arcs()})
+
+    def label(self, src: int, dst: int) -> object:
+        """The label of the arc (src, dst)."""
+        return self._labels[(src, dst)]
+
+    def labelled_arcs(self):
+        """Iterate over (source, destination, label) triples."""
+        for (src, dst), label in self._labels.items():
+            yield src, dst, label
+
+    @property
+    def num_nodes(self) -> int:
+        return self.graph.num_nodes
+
+    @property
+    def num_arcs(self) -> int:
+        return self.graph.num_arcs
+
+    def successors(self, node: int) -> list[int]:
+        return self.graph.successors(node)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"WeightedDigraph(n={self.num_nodes}, arcs={self.num_arcs})"

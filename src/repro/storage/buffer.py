@@ -1,0 +1,387 @@
+"""Buffer pool with pluggable page replacement policies.
+
+Every page access in the simulator goes through a :class:`BufferPool`.
+The pool has a fixed number of frames (``M`` in the paper, varied over
+10, 20 and 50 pages in the experiments).  A request for a resident page
+is a *hit*; a request for a non-resident page is a *miss* that charges
+one physical read, and, if the evicted victim frame is dirty, one
+physical write.
+
+Pages can be *pinned*: a pinned page is never chosen as an eviction
+victim.  The Hybrid algorithm pins the pages of its diagonal block
+(Section 3.2); if a miss occurs while every frame is pinned the pool
+raises :class:`~repro.errors.BufferPoolExhaustedError`, which Hybrid
+interprets as the signal to perform dynamic reblocking.
+
+The paper examined several page replacement policies and found their
+effect secondary (Section 5.1); LRU, MRU, FIFO, CLOCK and a seeded
+RANDOM policy are provided so that finding can be checked (see
+``benchmarks/bench_ablation_policies.py``).
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.errors import (
+    BufferPoolError,
+    BufferPoolExhaustedError,
+    ConfigurationError,
+    PageNotPinnedError,
+)
+from repro.storage.iostats import IoStats
+from repro.storage.page import PageId
+
+
+class ReplacementPolicy(ABC):
+    """Chooses which unpinned resident page to evict on a miss."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def note_admit(self, page: PageId) -> None:
+        """Called when ``page`` enters the pool."""
+
+    @abstractmethod
+    def note_access(self, page: PageId) -> None:
+        """Called when a resident ``page`` is accessed (a hit)."""
+
+    @abstractmethod
+    def note_evict(self, page: PageId) -> None:
+        """Called when ``page`` leaves the pool."""
+
+    @abstractmethod
+    def choose_victim(self, pinned: set[PageId]) -> PageId | None:
+        """Return an unpinned resident page to evict, or ``None``."""
+
+
+class LruPolicy(ReplacementPolicy):
+    """Evict the least recently used unpinned page."""
+
+    name = "lru"
+
+    def __init__(self) -> None:
+        self._order: OrderedDict[PageId, None] = OrderedDict()
+
+    def note_admit(self, page: PageId) -> None:
+        self._order[page] = None
+
+    def note_access(self, page: PageId) -> None:
+        self._order.move_to_end(page)
+
+    def note_evict(self, page: PageId) -> None:
+        self._order.pop(page, None)
+
+    def choose_victim(self, pinned: set[PageId]) -> PageId | None:
+        for page in self._order:
+            if page not in pinned:
+                return page
+        return None
+
+
+class MruPolicy(LruPolicy):
+    """Evict the most recently used unpinned page."""
+
+    name = "mru"
+
+    def choose_victim(self, pinned: set[PageId]) -> PageId | None:
+        for page in reversed(self._order):
+            if page not in pinned:
+                return page
+        return None
+
+
+class FifoPolicy(ReplacementPolicy):
+    """Evict the unpinned page that entered the pool earliest."""
+
+    name = "fifo"
+
+    def __init__(self) -> None:
+        self._order: OrderedDict[PageId, None] = OrderedDict()
+
+    def note_admit(self, page: PageId) -> None:
+        self._order[page] = None
+
+    def note_access(self, page: PageId) -> None:
+        # FIFO ignores accesses after admission.
+        pass
+
+    def note_evict(self, page: PageId) -> None:
+        self._order.pop(page, None)
+
+    def choose_victim(self, pinned: set[PageId]) -> PageId | None:
+        for page in self._order:
+            if page not in pinned:
+                return page
+        return None
+
+
+class ClockPolicy(ReplacementPolicy):
+    """Second-chance (CLOCK) replacement."""
+
+    name = "clock"
+
+    def __init__(self) -> None:
+        self._pages: list[PageId] = []
+        self._referenced: dict[PageId, bool] = {}
+        self._hand = 0
+
+    def note_admit(self, page: PageId) -> None:
+        self._pages.append(page)
+        self._referenced[page] = True
+
+    def note_access(self, page: PageId) -> None:
+        self._referenced[page] = True
+
+    def note_evict(self, page: PageId) -> None:
+        index = self._pages.index(page)
+        self._pages.pop(index)
+        del self._referenced[page]
+        if index < self._hand:
+            self._hand -= 1
+        if self._pages and self._hand >= len(self._pages):
+            self._hand = 0
+
+    def choose_victim(self, pinned: set[PageId]) -> PageId | None:
+        if not self._pages:
+            return None
+        # At most two sweeps: the first clears reference bits, the second
+        # must find a victim unless everything is pinned.
+        for _ in range(2 * len(self._pages)):
+            page = self._pages[self._hand]
+            if page in pinned:
+                self._hand = (self._hand + 1) % len(self._pages)
+                continue
+            if self._referenced[page]:
+                self._referenced[page] = False
+                self._hand = (self._hand + 1) % len(self._pages)
+                continue
+            return page
+        return None
+
+
+class RandomPolicy(ReplacementPolicy):
+    """Evict a uniformly random unpinned page (seeded for repeatability)."""
+
+    name = "random"
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = random.Random(seed)
+        self._pages: list[PageId] = []
+
+    def note_admit(self, page: PageId) -> None:
+        self._pages.append(page)
+
+    def note_access(self, page: PageId) -> None:
+        pass
+
+    def note_evict(self, page: PageId) -> None:
+        self._pages.remove(page)
+
+    def choose_victim(self, pinned: set[PageId]) -> PageId | None:
+        candidates = [page for page in self._pages if page not in pinned]
+        if not candidates:
+            return None
+        return self._rng.choice(candidates)
+
+
+_POLICIES = {
+    "lru": LruPolicy,
+    "mru": MruPolicy,
+    "fifo": FifoPolicy,
+    "clock": ClockPolicy,
+    "random": RandomPolicy,
+}
+
+
+def make_policy(name: str, seed: int = 0) -> ReplacementPolicy:
+    """Instantiate a replacement policy by name.
+
+    Valid names: ``lru`` (default everywhere), ``mru``, ``fifo``,
+    ``clock`` and ``random``.
+    """
+    try:
+        cls = _POLICIES[name]
+    except KeyError:
+        valid = ", ".join(sorted(_POLICIES))
+        raise ConfigurationError(
+            f"unknown page replacement policy {name!r}; valid policies: {valid}"
+        ) from None
+    if cls is RandomPolicy:
+        return RandomPolicy(seed)
+    return cls()
+
+
+@dataclass
+class _Frame:
+    page: PageId
+    dirty: bool = False
+    pin_count: int = 0
+
+
+class BufferPool:
+    """A fixed-capacity pool of page frames with replacement and pinning.
+
+    Parameters
+    ----------
+    capacity:
+        Number of page frames (``M``).  Must be positive.
+    stats:
+        Shared :class:`IoStats` that physical reads/writes and
+        request/hit counts are recorded into.
+    policy:
+        Replacement policy name (see :func:`make_policy`) or an already
+        constructed :class:`ReplacementPolicy`.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        stats: IoStats | None = None,
+        policy: str | ReplacementPolicy = "lru",
+    ) -> None:
+        if capacity <= 0:
+            raise ConfigurationError(f"buffer pool capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.stats = stats if stats is not None else IoStats()
+        self._policy = policy if isinstance(policy, ReplacementPolicy) else make_policy(policy)
+        self._frames: dict[PageId, _Frame] = {}
+        self._pinned: set[PageId] = set()
+
+    # -- introspection ---------------------------------------------------
+
+    def __contains__(self, page: PageId) -> bool:
+        return page in self._frames
+
+    def __len__(self) -> int:
+        return len(self._frames)
+
+    @property
+    def pinned_count(self) -> int:
+        """Number of distinct pinned pages currently resident."""
+        return len(self._pinned)
+
+    def is_dirty(self, page: PageId) -> bool:
+        """Whether the resident ``page`` has unwritten modifications."""
+        frame = self._frames.get(page)
+        return frame is not None and frame.dirty
+
+    # -- core operations ---------------------------------------------------
+
+    def access(self, page: PageId, dirty: bool = False) -> bool:
+        """Request ``page``; return ``True`` on a hit.
+
+        On a miss, one physical read is charged and, if a dirty victim
+        had to be evicted, one physical write.  ``dirty=True`` marks the
+        page as modified, to be written when it is evicted or flushed.
+        """
+        frame = self._frames.get(page)
+        if frame is not None:
+            self.stats.record_request(page.kind, hit=True)
+            self._policy.note_access(page)
+            frame.dirty = frame.dirty or dirty
+            return True
+
+        self.stats.record_request(page.kind, hit=False)
+        if len(self._frames) >= self.capacity:
+            self._evict_one()
+        self.stats.record_read(page.kind)
+        self._frames[page] = _Frame(page, dirty=dirty)
+        self._policy.note_admit(page)
+        return False
+
+    def create(self, page: PageId) -> None:
+        """Materialise a brand-new page directly in the pool.
+
+        Unlike :meth:`access`, no physical read is charged: the page did
+        not previously exist on disk.  The page is dirty and will be
+        written when evicted or flushed.  Used when the restructuring
+        phase allocates fresh successor-list pages.
+        """
+        frame = self._frames.get(page)
+        if frame is not None:
+            frame.dirty = True
+            self._policy.note_access(page)
+            return
+        # Materialising a new page is not a lookup: no request, no
+        # hit, no read -- only the future write when it leaves dirty.
+        if len(self._frames) >= self.capacity:
+            self._evict_one()
+        self._frames[page] = _Frame(page, dirty=True)
+        self._policy.note_admit(page)
+
+    def pin(self, page: PageId, dirty: bool = False) -> bool:
+        """Access and pin ``page``; return ``True`` on a hit.
+
+        A pinned page is never evicted.  Pins nest: each :meth:`pin`
+        must be matched by an :meth:`unpin`.
+        """
+        hit = self.access(page, dirty=dirty)
+        self._frames[page].pin_count += 1
+        self._pinned.add(page)
+        return hit
+
+    def unpin(self, page: PageId) -> None:
+        """Release one pin on ``page``."""
+        frame = self._frames.get(page)
+        if frame is None or frame.pin_count == 0:
+            raise PageNotPinnedError(f"{page} is not pinned")
+        frame.pin_count -= 1
+        if frame.pin_count == 0:
+            self._pinned.discard(page)
+
+    def unpin_all(self) -> None:
+        """Release every pin (used when Hybrid tears down a block)."""
+        for page in list(self._pinned):
+            frame = self._frames[page]
+            frame.pin_count = 0
+        self._pinned.clear()
+
+    def evict(self, page: PageId) -> None:
+        """Explicitly evict ``page`` (must be resident and unpinned)."""
+        frame = self._frames.get(page)
+        if frame is None:
+            return
+        if frame.pin_count:
+            raise BufferPoolError(f"cannot evict pinned page {page}")
+        self._drop(frame)
+
+    def flush(self) -> None:
+        """Write every dirty resident page, leaving all pages resident."""
+        for frame in self._frames.values():
+            if frame.dirty:
+                self.stats.record_write(frame.page.kind)
+                frame.dirty = False
+
+    def flush_selected(self, pages: set[PageId]) -> None:
+        """Write dirty resident pages in ``pages``; discard other dirt.
+
+        Used at the end of a selection query: only the expanded lists
+        of the source nodes are written out (Section 4 of the paper);
+        dirty working pages that are not part of the answer are simply
+        dropped without a write.
+        """
+        for frame in self._frames.values():
+            if frame.dirty and frame.page in pages:
+                self.stats.record_write(frame.page.kind)
+            frame.dirty = False
+
+    # -- internals ---------------------------------------------------------
+
+    def _evict_one(self) -> None:
+        victim = self._policy.choose_victim(self._pinned)
+        if victim is None:
+            raise BufferPoolExhaustedError(
+                f"all {self.capacity} frames are pinned; cannot fault in a new page"
+            )
+        self._drop(self._frames[victim])
+
+    def _drop(self, frame: _Frame) -> None:
+        if frame.dirty:
+            self.stats.record_write(frame.page.kind)
+        del self._frames[frame.page]
+        self._pinned.discard(frame.page)
+        self._policy.note_evict(frame.page)

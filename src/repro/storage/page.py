@@ -1,0 +1,87 @@
+"""Page geometry and page identity.
+
+The constants below are taken directly from Section 5.1 of the paper:
+
+* pages are 2048 bytes;
+* input-relation tuples are 8 bytes (two integers), so 256 tuples fit on
+  a relation page;
+* after restructuring, a successor-list page is divided into 30 blocks,
+  each holding up to 15 successor entries, so 450 successors fit on a
+  successor-list page.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+PAGE_SIZE = 2048
+"""Size of a disk page in bytes."""
+
+TUPLE_SIZE = 8
+"""Size of an arc-relation tuple in bytes (two 4-byte integers)."""
+
+TUPLES_PER_PAGE = PAGE_SIZE // TUPLE_SIZE
+"""Arc tuples per relation page (256)."""
+
+BLOCKS_PER_PAGE = 30
+"""Successor-list blocks per page."""
+
+BLOCK_CAPACITY = 15
+"""Successor entries per block."""
+
+SUCCESSORS_PER_PAGE = BLOCKS_PER_PAGE * BLOCK_CAPACITY
+"""Successor entries per successor-list page (450)."""
+
+INDEX_ENTRIES_PER_PAGE = PAGE_SIZE // 8
+"""Entries per clustered-index page (key + page pointer, 8 bytes)."""
+
+
+class PageKind(enum.Enum):
+    """The different families of pages the simulator distinguishes.
+
+    Keeping page kinds separate lets the experiments break total page
+    I/O down by data structure (input relation vs. index vs. successor
+    lists), which Section 6.1 of the paper does when attributing cost to
+    the restructuring and computation phases.
+    """
+
+    RELATION = "relation"
+    INVERSE_RELATION = "inverse_relation"
+    INDEX = "index"
+    INVERSE_INDEX = "inverse_index"
+    SUCCESSOR = "successor"
+    PREDECESSOR = "predecessor"
+    OUTPUT = "output"
+    DELTA = "delta"
+
+
+@dataclass(frozen=True, slots=True)
+class PageId:
+    """Identity of a simulated disk page.
+
+    ``kind`` names the data structure the page belongs to and ``number``
+    is the page's position within that structure.  Two pages are the
+    same page if and only if their :class:`PageId` values are equal.
+    """
+
+    kind: PageKind
+    number: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PageId({self.kind.value}:{self.number})"
+
+
+def pages_needed(entries: int, per_page: int) -> int:
+    """Number of pages needed to hold ``entries`` items, ``per_page`` each.
+
+    >>> pages_needed(0, 256)
+    0
+    >>> pages_needed(1, 256)
+    1
+    >>> pages_needed(257, 256)
+    2
+    """
+    if entries <= 0:
+        return 0
+    return -(-entries // per_page)

@@ -1,0 +1,153 @@
+"""Page-access tracing for the simulated buffer manager.
+
+A :class:`PageTrace` records every buffer-pool event -- requests with
+their hit/miss outcome, physical reads and writes, pins -- as a flat
+sequence.  Traces are what let tests assert *access patterns*, not
+just totals: that a full-closure restructuring scans the relation
+sequentially, that Warshall's pivot-major pass revisits rows the way
+the literature says it does, or that Hybrid really fetches each
+off-diagonal list once per block.
+
+Attach a trace by wrapping the pool's stats::
+
+    trace = PageTrace()
+    pool = BufferPool(10, stats=trace.attach(IoStats()))
+
+or use :func:`traced_pool` for the common case.  Tracing is opt-in and
+costs nothing when not attached.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.storage.buffer import BufferPool, ReplacementPolicy
+from repro.storage.iostats import IoStats
+from repro.storage.page import PageId, PageKind
+
+
+class TraceEvent(enum.Enum):
+    """What happened to a page."""
+
+    REQUEST_HIT = "hit"
+    REQUEST_MISS = "miss"
+    READ = "read"
+    WRITE = "write"
+    CREATE = "create"
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One buffer-manager event."""
+
+    sequence: int
+    event: TraceEvent
+    kind: PageKind
+    page_number: int | None
+
+
+@dataclass
+class PageTrace:
+    """A recording of buffer-manager events, in order."""
+
+    records: list[TraceRecord] = field(default_factory=list)
+
+    # -- recording ------------------------------------------------------------
+
+    def attach(self, stats: IoStats) -> IoStats:
+        """Wrap ``stats`` so every event is also appended to this trace.
+
+        Returns the same object (mutated) for chaining.
+        """
+        trace = self
+        original_request = stats.record_request
+        original_read = stats.record_read
+        original_write = stats.record_write
+
+        def record_request(kind: PageKind, hit: bool) -> None:
+            original_request(kind, hit)
+            event = TraceEvent.REQUEST_HIT if hit else TraceEvent.REQUEST_MISS
+            trace._append(event, kind)
+
+        def record_read(kind: PageKind) -> None:
+            original_read(kind)
+            trace._append(TraceEvent.READ, kind)
+
+        def record_write(kind: PageKind) -> None:
+            original_write(kind)
+            trace._append(TraceEvent.WRITE, kind)
+
+        stats.record_request = record_request  # type: ignore[method-assign]
+        stats.record_read = record_read  # type: ignore[method-assign]
+        stats.record_write = record_write  # type: ignore[method-assign]
+        return stats
+
+    def note_page(self, page: PageId, event: TraceEvent) -> None:
+        """Record an event with full page identity (used by TracedPool)."""
+        self.records.append(
+            TraceRecord(len(self.records), event, page.kind, page.number)
+        )
+
+    def _append(self, event: TraceEvent, kind: PageKind) -> None:
+        self.records.append(TraceRecord(len(self.records), event, kind, None))
+
+    # -- analysis ---------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def events(self, event: TraceEvent, kind: PageKind | None = None) -> list[TraceRecord]:
+        """All records of one event type (optionally one page kind)."""
+        return [
+            record
+            for record in self.records
+            if record.event is event and (kind is None or record.kind is kind)
+        ]
+
+    def page_numbers(self, event: TraceEvent, kind: PageKind) -> list[int]:
+        """Page numbers of matching records (requires full identity)."""
+        return [
+            record.page_number
+            for record in self.records
+            if record.event is event
+            and record.kind is kind
+            and record.page_number is not None
+        ]
+
+    def is_sequential(self, event: TraceEvent, kind: PageKind) -> bool:
+        """Whether the matching accesses form a non-decreasing run."""
+        numbers = self.page_numbers(event, kind)
+        return all(a <= b for a, b in zip(numbers, numbers[1:]))
+
+
+class TracedPool(BufferPool):
+    """A :class:`BufferPool` that records full page identities.
+
+    The plain :meth:`PageTrace.attach` wrapper only sees page *kinds*
+    (that is all :class:`IoStats` receives); this subclass intercepts
+    :meth:`access`/:meth:`create` to record page numbers as well.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        trace: PageTrace,
+        stats: IoStats | None = None,
+        policy: str | ReplacementPolicy = "lru",
+    ) -> None:
+        super().__init__(capacity, stats=stats, policy=policy)
+        self.trace = trace
+
+    def access(self, page: PageId, dirty: bool = False) -> bool:
+        resident = page in self
+        hit = super().access(page, dirty=dirty)
+        event = TraceEvent.REQUEST_HIT if resident else TraceEvent.REQUEST_MISS
+        self.trace.note_page(page, event)
+        if not hit:
+            self.trace.note_page(page, TraceEvent.READ)
+        return hit
+
+    def create(self, page: PageId) -> None:
+        super().create(page)
+        self.trace.note_page(page, TraceEvent.CREATE)

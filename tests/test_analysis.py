@@ -1,0 +1,165 @@
+"""Tests for DAG analysis and the rectangle model (Section 5.3)."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.analysis import (
+    bitset_to_nodes,
+    node_levels,
+    profile_graph,
+    transitive_closure_sets,
+    transitive_closure_size,
+    transitive_reduction_arcs,
+)
+from repro.graphs.digraph import Digraph
+from repro.graphs.generator import generate_dag
+
+from conftest import oracle_closure
+
+
+class TestNodeLevels:
+    def test_sink_has_level_one(self):
+        graph = Digraph.from_arcs(2, [(0, 1)])
+        levels = node_levels(graph)
+        assert levels[1] == 1
+        assert levels[0] == 2
+
+    def test_level_is_longest_path_to_a_sink(self):
+        # 0 -> 1 -> 2 and 0 -> 2: level(0) is 3 via the longer path.
+        graph = Digraph.from_arcs(3, [(0, 1), (1, 2), (0, 2)])
+        levels = node_levels(graph)
+        assert levels == {0: 3, 1: 2, 2: 1}
+
+    def test_isolated_nodes_are_sinks(self):
+        graph = Digraph(3)
+        assert node_levels(graph) == {0: 1, 1: 1, 2: 1}
+
+    def test_scoped_levels_ignore_outside_arcs(self):
+        graph = Digraph.from_arcs(3, [(0, 1), (1, 2)])
+        levels = node_levels(graph, nodes=[0, 1])
+        assert levels == {0: 2, 1: 1}
+
+
+class TestClosure:
+    def test_matches_networkx(self, medium_dag):
+        closure = transitive_closure_sets(medium_dag)
+        oracle = oracle_closure(medium_dag)
+        for node in medium_dag.nodes():
+            assert set(bitset_to_nodes(closure[node])) == oracle[node]
+
+    def test_closure_size(self):
+        graph = Digraph.from_arcs(3, [(0, 1), (1, 2)])
+        assert transitive_closure_size(graph) == 3  # (0,1) (0,2) (1,2)
+
+    def test_closure_excludes_self(self, small_dag):
+        closure = transitive_closure_sets(small_dag)
+        for node in small_dag.nodes():
+            assert not (closure[node] >> node) & 1
+
+
+class TestTransitiveReduction:
+    def test_diamond_shortcut_is_redundant(self, diamond):
+        irredundant, redundant = transitive_reduction_arcs(diamond)
+        assert redundant == {(0, 3)}
+        assert (0, 1) in irredundant
+        assert len(irredundant) + len(redundant) == diamond.num_arcs
+
+    def test_matches_networkx_reduction(self, medium_dag):
+        irredundant, _redundant = transitive_reduction_arcs(medium_dag)
+        nxg = nx.DiGraph(list(medium_dag.arcs()))
+        expected = set(nx.transitive_reduction(nxg).edges())
+        assert irredundant == expected
+
+    def test_chain_has_no_redundant_arcs(self, chain):
+        _irredundant, redundant = transitive_reduction_arcs(chain)
+        assert redundant == set()
+
+    def test_reduction_preserves_closure(self, small_dag):
+        irredundant, _ = transitive_reduction_arcs(small_dag)
+        reduced = Digraph.from_arcs(small_dag.num_nodes, irredundant)
+        assert transitive_closure_sets(reduced) == transitive_closure_sets(small_dag)
+
+
+class TestRectangleModel:
+    def test_chain_profile(self, chain):
+        profile = profile_graph(chain)
+        # Levels 6,5,4,3,2,1: H = 21/6 = 3.5; W = 5 arcs / 3.5.
+        assert profile.height == pytest.approx(3.5)
+        assert profile.width == pytest.approx(5 / 3.5)
+        assert profile.max_level == 6
+
+    def test_empty_graph_profile(self):
+        profile = profile_graph(Digraph(4))
+        assert profile.height == 1.0  # every node is a sink at level 1
+        assert profile.width == 0.0
+        assert profile.closure_size == 0
+
+    def test_locality_averages(self, diamond):
+        profile = profile_graph(diamond)
+        # Levels: 0->3, 1->2, 2->2, 3->1.  Arc localities:
+        # (0,1)=1, (0,2)=1, (1,3)=1, (2,3)=1, (0,3)=2.
+        assert profile.avg_arc_locality == pytest.approx(6 / 5)
+        # Irredundant arcs exclude the redundant shortcut (0,3).
+        assert profile.avg_irredundant_locality == pytest.approx(1.0)
+
+    @given(
+        n=st.integers(min_value=2, max_value=60),
+        f=st.integers(min_value=1, max_value=5),
+        seed=st.integers(min_value=0, max_value=5_000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_theorem1_height_invariance(self, n, f, seed):
+        """Theorem 1(1): H(G) = H(TR(G)) = H(TC(G))."""
+        graph = generate_dag(n, f, max(1, n // 2), seed=seed)
+        profile = profile_graph(graph, include_closure_size=False)
+
+        irredundant, _ = transitive_reduction_arcs(graph)
+        reduction = Digraph.from_arcs(n, irredundant)
+
+        closure_arcs = [
+            (node, successor)
+            for node, bits in transitive_closure_sets(graph).items()
+            for successor in bitset_to_nodes(bits)
+        ]
+        closure_graph = Digraph.from_arcs(n, closure_arcs)
+
+        h = profile.height
+        assert profile_graph(reduction, include_closure_size=False).height == pytest.approx(h)
+        assert profile_graph(closure_graph, include_closure_size=False).height == pytest.approx(h)
+
+    @given(
+        n=st.integers(min_value=2, max_value=60),
+        f=st.integers(min_value=1, max_value=5),
+        seed=st.integers(min_value=0, max_value=5_000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_theorem1_width_ordering(self, n, f, seed):
+        """Theorem 1(2): W(TR(G)) <= W(G) <= W(TC(G))."""
+        graph = generate_dag(n, f, max(1, n // 2), seed=seed)
+        profile = profile_graph(graph, include_closure_size=False)
+
+        irredundant, _ = transitive_reduction_arcs(graph)
+        reduction_profile = profile_graph(
+            Digraph.from_arcs(n, irredundant), include_closure_size=False
+        )
+        closure_arcs = [
+            (node, successor)
+            for node, bits in transitive_closure_sets(graph).items()
+            for successor in bitset_to_nodes(bits)
+        ]
+        closure_profile = profile_graph(
+            Digraph.from_arcs(n, closure_arcs), include_closure_size=False
+        )
+        assert reduction_profile.width <= profile.width + 1e-9
+        assert profile.width <= closure_profile.width + 1e-9
+
+
+class TestBitsetHelpers:
+    def test_roundtrip(self):
+        bits = (1 << 3) | (1 << 70) | (1 << 128)
+        assert bitset_to_nodes(bits) == [3, 70, 128]
+
+    def test_empty(self):
+        assert bitset_to_nodes(0) == []

@@ -1,0 +1,144 @@
+"""Tests for the high-level convenience API."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.api as api
+from repro.core.query import SystemConfig
+from repro.errors import ConfigurationError
+from repro.graphs.digraph import Digraph
+from repro.graphs.generator import generate_dag
+
+
+class TestTransitiveClosure:
+    def test_from_arcs(self):
+        closure = api.transitive_closure(arcs=[(0, 1), (1, 2)], num_nodes=3)
+        assert closure.successors == {0: {1, 2}, 1: {2}, 2: set()}
+
+    def test_from_graph(self, small_dag):
+        closure = api.transitive_closure(small_dag)
+        assert len(closure.successors) == small_dag.num_nodes
+
+    def test_graph_and_arcs_are_mutually_exclusive(self, small_dag):
+        with pytest.raises(ConfigurationError):
+            api.transitive_closure(small_dag, arcs=[(0, 1)], num_nodes=2)
+
+    def test_arcs_require_num_nodes(self):
+        with pytest.raises(ConfigurationError):
+            api.transitive_closure(arcs=[(0, 1)])
+
+    def test_selection(self, small_dag):
+        closure = api.transitive_closure(small_dag, sources=[0, 5])
+        assert set(closure.successors) == {0, 5}
+
+    def test_explicit_algorithm(self, small_dag):
+        closure = api.transitive_closure(small_dag, algorithm="spn")
+        assert closure.chosen_algorithm == "spn"
+
+    def test_system_config_wins_over_buffer_pages(self, small_dag):
+        closure = api.transitive_closure(
+            small_dag, system=SystemConfig(buffer_pages=5), buffer_pages=50
+        )
+        assert closure.metrics.total_io > 0
+
+
+class TestCyclicInputs:
+    def test_cycle_members_reach_themselves(self):
+        closure = api.transitive_closure(arcs=[(0, 1), (1, 0), (1, 2)], num_nodes=3)
+        assert closure.condensed
+        assert closure.reaches(0, 0)
+        assert closure.successors[0] == {0, 1, 2}
+        assert closure.successors[2] == set()
+
+    def test_cyclic_selection(self):
+        closure = api.transitive_closure(
+            arcs=[(0, 1), (1, 0), (1, 2), (3, 0)], num_nodes=4, sources=[3]
+        )
+        assert set(closure.successors) == {3}
+        assert closure.successors[3] == {0, 1, 2}
+
+    def test_acyclic_input_is_not_condensed(self, small_dag):
+        closure = api.transitive_closure(small_dag)
+        assert not closure.condensed
+
+    @given(
+        n=st.integers(min_value=1, max_value=25),
+        seed=st.integers(min_value=0, max_value=2_000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_matches_networkx_on_cyclic_graphs(self, n, seed):
+        import random
+
+        rng = random.Random(seed)
+        arcs = [(rng.randrange(n), rng.randrange(n)) for _ in range(3 * n)]
+        graph = Digraph.from_arcs(n, arcs)
+        closure = api.transitive_closure(graph)
+
+        nxg = nx.DiGraph()
+        nxg.add_nodes_from(range(n))
+        nxg.add_edges_from(arcs)
+        for node in range(n):
+            expected = set(nx.descendants(nxg, node))
+            if nxg.has_edge(node, node) or any(
+                node in nx.descendants(nxg, child) for child in nxg.successors(node)
+            ):
+                expected.add(node)
+            assert closure.successors[node] == expected, node
+
+
+class TestChooseAlgorithm:
+    def test_full_closure_uses_btc(self, medium_dag):
+        assert api.choose_algorithm(medium_dag) == "btc"
+
+    def test_tiny_source_sets_use_srch(self, medium_dag):
+        assert api.choose_algorithm(medium_dag, sources=[0]) == "srch"
+
+    def test_huge_source_sets_use_btc(self, medium_dag):
+        sources = range(medium_dag.num_nodes)
+        assert api.choose_algorithm(medium_dag, sources=sources) == "btc"
+
+    def test_narrow_graphs_use_jkb2(self):
+        # A long path is as narrow as a DAG gets (W = 1-ish).
+        chain = Digraph.from_arcs(300, [(i, i + 1) for i in range(299)])
+        sources = list(range(0, 300, 20))
+        assert api.choose_algorithm(chain, sources=sources) == "jkb2"
+
+    def test_empty_sources_raise(self, medium_dag):
+        with pytest.raises(ConfigurationError):
+            api.choose_algorithm(medium_dag, sources=[])
+
+    def test_auto_answers_are_correct(self):
+        graph = generate_dag(150, 4, 40, seed=77)
+        for sources in (None, [0], list(range(0, 150, 10))):
+            closure = api.transitive_closure(graph, sources=sources)
+            reference = api.transitive_closure(graph, sources=sources, algorithm="btc")
+            assert closure.successors == reference.successors
+
+
+class TestReachable:
+    def test_positive_probe(self):
+        graph = Digraph.from_arcs(3, [(0, 1), (1, 2)])
+        assert api.reachable(graph, 0, 2)
+
+    def test_negative_probe(self):
+        graph = Digraph.from_arcs(3, [(0, 1)])
+        assert not api.reachable(graph, 1, 0)
+
+    def test_self_probe_needs_a_cycle(self):
+        acyclic = Digraph.from_arcs(2, [(0, 1)])
+        assert not api.reachable(acyclic, 0, 0)
+        cyclic = Digraph.from_arcs(2, [(0, 1), (1, 0)])
+        assert api.reachable(cyclic, 0, 0)
+
+
+class TestClosureObject:
+    def test_tuples_count(self):
+        closure = api.transitive_closure(arcs=[(0, 1), (1, 2)], num_nodes=3)
+        assert closure.tuples == 3
+
+    def test_successors_of_sorted(self):
+        closure = api.transitive_closure(arcs=[(0, 2), (0, 1)], num_nodes=3)
+        assert closure.successors_of(0) == [1, 2]
+        assert closure.successors_of(9) == []

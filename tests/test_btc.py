@@ -1,0 +1,112 @@
+"""Tests for the BTC algorithm (Section 3.1)."""
+
+import pytest
+
+from repro.core.btc import BtcAlgorithm
+from repro.core.query import Query, SystemConfig
+from repro.errors import CyclicGraphError, InvalidNodeError
+from repro.graphs.analysis import transitive_reduction_arcs
+from repro.graphs.digraph import Digraph
+
+from conftest import oracle_closure
+
+
+class TestCorrectness:
+    def test_full_closure_matches_oracle(self, medium_dag):
+        result = BtcAlgorithm().run(medium_dag)
+        oracle = oracle_closure(medium_dag)
+        for node in medium_dag.nodes():
+            assert set(result.successors_of(node)) == oracle[node]
+
+    def test_selection_matches_oracle(self, medium_dag):
+        sources = [0, 30, 77]
+        result = BtcAlgorithm().run(medium_dag, Query.ptc(sources))
+        oracle = oracle_closure(medium_dag)
+        assert set(result.successor_bits) == set(sources)
+        for source in sources:
+            assert set(result.successors_of(source)) == oracle[source]
+
+    def test_diamond(self, diamond):
+        result = BtcAlgorithm().run(diamond)
+        assert result.successors_of(0) == [1, 2, 3]
+        assert result.successors_of(1) == [3]
+        assert result.successors_of(3) == []
+
+    def test_empty_graph(self):
+        result = BtcAlgorithm().run(Digraph(5))
+        assert result.num_tuples == 0
+
+    def test_single_node(self):
+        result = BtcAlgorithm().run(Digraph(1))
+        assert result.successors_of(0) == []
+
+    def test_cyclic_input_raises(self):
+        graph = Digraph.from_arcs(3, [(0, 1), (1, 2), (2, 0)])
+        with pytest.raises(CyclicGraphError):
+            BtcAlgorithm().run(graph)
+
+    def test_source_out_of_range_raises(self, small_dag):
+        with pytest.raises(InvalidNodeError):
+            BtcAlgorithm().run(small_dag, Query.ptc([small_dag.num_nodes]))
+
+
+class TestMarking:
+    def test_marked_arcs_are_exactly_the_redundant_arcs(self, medium_dag):
+        """On a topologically sorted DAG the marking optimisation is a
+        transitive reduction (Section 3.1, citing [10, 17])."""
+        result = BtcAlgorithm().run(medium_dag)
+        _irr, redundant = transitive_reduction_arcs(medium_dag)
+        assert result.metrics.arcs_marked == len(redundant)
+        assert result.metrics.arcs_considered == medium_dag.num_arcs
+
+    def test_unions_equal_irredundant_arcs(self, medium_dag):
+        result = BtcAlgorithm().run(medium_dag)
+        irredundant, _red = transitive_reduction_arcs(medium_dag)
+        assert result.metrics.list_unions == len(irredundant)
+
+    def test_diamond_marks_the_shortcut(self, diamond):
+        result = BtcAlgorithm().run(diamond)
+        assert result.metrics.arcs_marked == 1
+
+
+class TestMetrics:
+    def test_distinct_tuples_equal_closure_size(self, medium_dag):
+        result = BtcAlgorithm().run(medium_dag)
+        assert result.metrics.distinct_tuples == result.num_tuples
+
+    def test_output_tuples_for_selection(self, medium_dag):
+        sources = [0, 10]
+        result = BtcAlgorithm().run(medium_dag, Query.ptc(sources))
+        oracle = oracle_closure(medium_dag)
+        assert result.metrics.output_tuples == sum(len(oracle[s]) for s in sources)
+
+    def test_duplicates_complement_new_tuples(self, medium_dag):
+        """Every generated tuple is either new or a duplicate."""
+        metrics = BtcAlgorithm().run(medium_dag).metrics
+        new_tuples = metrics.tuples_generated - metrics.duplicates
+        # New tuples = closure size minus the immediate successors that
+        # were placed during restructuring (they are never re-derived
+        # as 'new' by a union: a union only adds the child's list).
+        assert 0 <= new_tuples <= metrics.distinct_tuples
+
+    def test_selection_efficiency_is_one_for_full_closure(self, small_dag):
+        metrics = BtcAlgorithm().run(small_dag).metrics
+        assert metrics.selection_efficiency <= 1.0
+
+    def test_io_decreases_with_buffer_size(self, medium_dag):
+        io_small = BtcAlgorithm().run(medium_dag, system=SystemConfig(buffer_pages=5)).metrics.total_io
+        io_large = BtcAlgorithm().run(medium_dag, system=SystemConfig(buffer_pages=50)).metrics.total_io
+        assert io_large <= io_small
+
+    def test_deterministic_metrics(self, medium_dag):
+        a = BtcAlgorithm().run(medium_dag).metrics
+        b = BtcAlgorithm().run(medium_dag).metrics
+        assert a.total_io == b.total_io
+        assert a.tuples_generated == b.tuples_generated
+
+    def test_magic_profile_reported(self, medium_dag):
+        result = BtcAlgorithm().run(medium_dag, Query.ptc([0]))
+        assert result.magic_nodes >= 1
+        assert result.magic_height >= 1.0
+        if result.magic_arcs:
+            assert result.magic_width > 0

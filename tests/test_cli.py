@@ -1,0 +1,45 @@
+"""Tests for the command line front end."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_default_run(self, capsys):
+        assert main(["--nodes", "100", "--out-degree", "3", "--locality", "20"]) == 0
+        output = capsys.readouterr().out
+        assert "btc" in output
+        assert "total_io" in output
+
+    def test_family_workload(self, capsys):
+        assert main(["--family", "G3", "--scale", "8", "--algorithm", "bj",
+                     "--sources", "4"]) == 0
+        output = capsys.readouterr().out
+        assert "bj" in output
+        assert "n=250" in output
+
+    def test_all_algorithms_on_a_selection(self, capsys):
+        assert main(["--family", "G2", "--scale", "8", "--algorithm", "all",
+                     "--sources", "3", "-M", "10"]) == 0
+        output = capsys.readouterr().out
+        for name in ("btc", "hyb", "bj", "srch", "spn", "jkb", "jkb2",
+                     "seminaive", "warren", "schmitz"):
+            assert name in output
+
+    def test_all_skips_srch_for_full_closure(self, capsys):
+        assert main(["--nodes", "60", "--algorithm", "all"]) == 0
+        output = capsys.readouterr().out
+        assert "srch" not in output.replace("search", "")
+
+    def test_baseline_by_name(self, capsys):
+        assert main(["--nodes", "80", "--algorithm", "warshall"]) == 0
+        assert "warshall" in capsys.readouterr().out
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["--algorithm", "made-up"])
+
+    def test_buffer_and_policy_flags(self, capsys):
+        assert main(["--nodes", "80", "-M", "5", "--page-policy", "clock"]) == 0
+        assert "M=5" in capsys.readouterr().out

@@ -1,0 +1,132 @@
+"""Tests for the Compute_Tree algorithm, JKB and JKB2 (Section 3.6)."""
+
+from repro.core.btc import BtcAlgorithm
+from repro.core.compute_tree import ComputeTreeAlgorithm
+from repro.core.query import Query, SystemConfig
+from repro.graphs.digraph import Digraph
+from repro.graphs.generator import generate_dag
+
+from conftest import oracle_closure
+
+
+def jkb2() -> ComputeTreeAlgorithm:
+    return ComputeTreeAlgorithm(dual_representation=True)
+
+
+def jkb() -> ComputeTreeAlgorithm:
+    return ComputeTreeAlgorithm(dual_representation=False)
+
+
+class TestCorrectness:
+    def test_selection_matches_oracle(self, medium_dag):
+        sources = [0, 12, 88, 120]
+        oracle = oracle_closure(medium_dag)
+        for algorithm in (jkb(), jkb2()):
+            result = algorithm.run(medium_dag, Query.ptc(sources))
+            for source in sources:
+                assert set(result.successors_of(source)) == oracle[source]
+
+    def test_full_closure_matches_oracle(self, small_dag):
+        oracle = oracle_closure(small_dag)
+        result = jkb2().run(small_dag)
+        for node in small_dag.nodes():
+            assert set(result.successors_of(node)) == oracle[node]
+
+    def test_deep_chain_does_not_overflow(self):
+        """Special trees can be ~2|S| deep; the merge must be iterative."""
+        n = 3000
+        graph = Digraph.from_arcs(n, [(i, i + 1) for i in range(n - 1)])
+        sources = list(range(0, n, 2))  # every other node: deep source chain
+        result = jkb2().run(graph, Query.ptc(sources), SystemConfig(buffer_pages=50))
+        assert set(result.successors_of(0)) == set(range(1, n))
+
+    def test_source_inside_anothers_closure(self):
+        graph = Digraph.from_arcs(4, [(0, 1), (1, 2), (2, 3)])
+        result = jkb2().run(graph, Query.ptc([0, 2]))
+        assert result.successors_of(0) == [1, 2, 3]
+        assert result.successors_of(2) == [3]
+
+
+class TestSpecialTrees:
+    def test_tree_size_bounded_by_twice_the_sources(self, medium_dag):
+        """|T(x)| <= 2|S| - 1 (Section 3.6)."""
+        sources = [0, 7, 23, 51, 90]
+        algorithm = jkb2()
+        algorithm.run(medium_dag, Query.ptc(sources))
+        bound = 2 * len(sources) - 1
+        assert all(tree.size <= bound for tree in algorithm._trees.values())
+
+    def test_trees_contain_only_special_nodes(self):
+        """Non-source interior nodes appear only as branch points."""
+        # 0 -> 1 -> 3, 2 -> 3 with sources {0, 2}: node 1 is a pass-
+        # through (never special), node 3's tree holds the two sources.
+        graph = Digraph.from_arcs(4, [(0, 1), (1, 3), (2, 3)])
+        algorithm = jkb2()
+        algorithm.run(graph, Query.ptc([0, 2]))
+        tree3 = algorithm._trees[3]
+        assert 1 not in tree3.ids
+        assert {0, 2} <= tree3.ids
+
+    def test_branch_node_created_where_sources_meet(self):
+        """The meeting node of unrelated sources becomes special."""
+        # 0 -> 2, 1 -> 2, 2 -> 3; sources {0, 1} first meet at node 2.
+        graph = Digraph.from_arcs(4, [(0, 2), (1, 2), (2, 3)])
+        algorithm = jkb2()
+        algorithm.run(graph, Query.ptc([0, 1]))
+        assert 2 in algorithm._trees[2].ids
+        # Node 3 inherits the joined tree without a new branch node.
+        assert 3 not in algorithm._trees[3].ids
+
+
+class TestCostCharacter:
+    def test_marking_almost_never_applies(self):
+        """Figure 11: the marking percentage of JKB2 is near zero."""
+        graph = generate_dag(300, 5, 60, seed=31)
+        result = jkb2().run(graph, Query.ptc([0, 5, 10, 20, 40]))
+        assert result.metrics.marking_percentage < 0.05
+
+    def test_more_unions_than_btc(self):
+        """Figure 10: poor marking utilisation costs JKB2 unions."""
+        graph = generate_dag(300, 5, 60, seed=32)
+        query = Query.ptc([0, 5, 10, 20, 40])
+        jkb_unions = jkb2().run(graph, query).metrics.list_unions
+        btc_unions = BtcAlgorithm().run(graph, query).metrics.list_unions
+        assert jkb_unions >= btc_unions
+
+    def test_far_fewer_tuples_generated_than_btc(self):
+        """Figure 9: JKB2 generates a small fraction of BTC's tuples."""
+        graph = generate_dag(400, 5, 80, seed=33)
+        query = Query.ptc([0, 3, 9])
+        jkb_tc = jkb2().run(graph, query).metrics.tuples_generated
+        btc_tc = BtcAlgorithm().run(graph, query).metrics.tuples_generated
+        assert jkb_tc < btc_tc / 5
+
+    def test_jkb_preprocessing_costs_more_than_jkb2(self):
+        """Without the dual representation, predecessor lists cost one
+        scattered page access per arc (Figure 7(a)'s JKB blow-up).
+
+        The effect needs a relation larger than the buffer pool, so the
+        scattered probes actually miss.
+        """
+        graph = generate_dag(1000, 10, 500, seed=34)
+        query = Query.ptc(list(range(10)))
+        system = SystemConfig(buffer_pages=10)
+        from repro.storage.iostats import Phase
+
+        io_jkb = jkb().run(graph, query, system).metrics.io
+        io_jkb2 = jkb2().run(graph, query, system).metrics.io
+        assert io_jkb.reads_in(Phase.RESTRUCTURE) > io_jkb2.reads_in(Phase.RESTRUCTURE)
+
+    def test_becomes_memory_resident_with_big_buffer(self):
+        """Figure 13: JKB2's tiny trees fit in a grown buffer pool and
+        its computation-phase I/O nearly vanishes."""
+        graph = generate_dag(400, 5, 80, seed=35)
+        query = Query.ptc([0, 2, 4, 6, 8, 10, 12, 14, 16, 18])
+        from repro.storage.iostats import Phase
+
+        def compute_io(buffer_pages: int) -> int:
+            metrics = jkb2().run(graph, query, SystemConfig(buffer_pages=buffer_pages)).metrics
+            return metrics.io.reads_in(Phase.COMPUTE)
+
+        assert compute_io(50) <= compute_io(5)
+        assert compute_io(50) <= 2

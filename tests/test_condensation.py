@@ -1,0 +1,112 @@
+"""Tests for SCC computation and the condensation graph."""
+
+import networkx as nx
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.condensation import (
+    condensation,
+    expand_closure_to_original,
+    strongly_connected_components,
+)
+from repro.graphs.digraph import Digraph
+from repro.graphs.toposort import is_acyclic
+
+
+def digraphs(max_nodes: int = 25):
+    """Hypothesis strategy for arbitrary (possibly cyclic) digraphs."""
+    return st.integers(min_value=1, max_value=max_nodes).flatmap(
+        lambda n: st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=n - 1),
+                st.integers(min_value=0, max_value=n - 1),
+            ),
+            max_size=4 * n,
+        ).map(lambda arcs: Digraph.from_arcs(n, arcs))
+    )
+
+
+class TestScc:
+    def test_simple_cycle_is_one_component(self):
+        graph = Digraph.from_arcs(3, [(0, 1), (1, 2), (2, 0)])
+        components = strongly_connected_components(graph)
+        assert len(components) == 1
+        assert sorted(components[0]) == [0, 1, 2]
+
+    def test_dag_has_singleton_components(self):
+        graph = Digraph.from_arcs(4, [(0, 1), (1, 2), (2, 3)])
+        components = strongly_connected_components(graph)
+        assert sorted(len(c) for c in components) == [1, 1, 1, 1]
+
+    @given(digraphs())
+    @settings(max_examples=40, deadline=None)
+    def test_matches_networkx(self, graph):
+        nxg = nx.DiGraph()
+        nxg.add_nodes_from(range(graph.num_nodes))
+        nxg.add_edges_from(graph.arcs())
+        expected = {frozenset(c) for c in nx.strongly_connected_components(nxg)}
+        actual = {frozenset(c) for c in strongly_connected_components(graph)}
+        assert actual == expected
+
+
+class TestCondensation:
+    def test_condensation_is_acyclic(self):
+        graph = Digraph.from_arcs(5, [(0, 1), (1, 0), (1, 2), (2, 3), (3, 2), (3, 4)])
+        assert is_acyclic(condensation(graph).dag)
+
+    @given(digraphs())
+    @settings(max_examples=40, deadline=None)
+    def test_condensation_is_always_acyclic(self, graph):
+        assert is_acyclic(condensation(graph).dag)
+
+    def test_members_partition_the_nodes(self):
+        graph = Digraph.from_arcs(5, [(0, 1), (1, 0), (2, 3)])
+        cond = condensation(graph)
+        flattened = sorted(node for members in cond.members for node in members)
+        assert flattened == list(range(5))
+
+    def test_self_loops_recorded(self):
+        graph = Digraph.from_arcs(3, [(0, 0), (0, 1)])
+        cond = condensation(graph)
+        assert cond.self_loops == {0}
+
+
+class TestExpandClosure:
+    def _closure_of(self, graph: Digraph) -> dict[int, set[int]]:
+        """Full cyclic-graph reachability via condensation."""
+        from repro.graphs.analysis import bitset_to_nodes, transitive_closure_sets
+
+        cond = condensation(graph)
+        dag_closure = {
+            comp: set(bitset_to_nodes(bits))
+            for comp, bits in transitive_closure_sets(cond.dag).items()
+        }
+        return expand_closure_to_original(cond, dag_closure)
+
+    def test_cycle_members_reach_each_other_and_themselves(self):
+        graph = Digraph.from_arcs(3, [(0, 1), (1, 0), (1, 2)])
+        closure = self._closure_of(graph)
+        assert closure[0] == {0, 1, 2}
+        assert closure[1] == {0, 1, 2}
+        assert closure[2] == set()
+
+    def test_self_loop_node_reaches_itself(self):
+        graph = Digraph.from_arcs(2, [(0, 0), (0, 1)])
+        closure = self._closure_of(graph)
+        assert closure[0] == {0, 1}
+        assert closure[1] == set()
+
+    @given(digraphs(max_nodes=18))
+    @settings(max_examples=40, deadline=None)
+    def test_expansion_matches_networkx_reachability(self, graph):
+        nxg = nx.DiGraph()
+        nxg.add_nodes_from(range(graph.num_nodes))
+        nxg.add_edges_from(graph.arcs())
+        closure = self._closure_of(graph)
+        for node in range(graph.num_nodes):
+            expected = set(nx.descendants(nxg, node))
+            if nxg.has_edge(node, node) or any(
+                node in nx.descendants(nxg, child) for child in nxg.successors(node)
+            ):
+                expected.add(node)
+            assert closure[node] == expected

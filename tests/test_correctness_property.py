@@ -1,0 +1,105 @@
+"""Property-based correctness: every algorithm against the oracle.
+
+These are the load-bearing tests of the reproduction: whatever random
+DAG, query and buffer size hypothesis draws, every algorithm in the
+suite must produce exactly the reachability relation networkx computes.
+"""
+
+import networkx as nx
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.query import Query, SystemConfig
+from repro.core.registry import ALGORITHM_NAMES, make_algorithm
+from repro.graphs.generator import generate_dag
+
+FULL_CLOSURE_ALGOS = tuple(name for name in ALGORITHM_NAMES if name != "srch")
+
+
+@st.composite
+def dag_and_sources(draw):
+    n = draw(st.integers(min_value=1, max_value=80))
+    f = draw(st.integers(min_value=0, max_value=6))
+    locality = draw(st.integers(min_value=1, max_value=max(1, n)))
+    seed = draw(st.integers(min_value=0, max_value=100_000))
+    graph = generate_dag(n, f, locality, seed=seed)
+    k = draw(st.integers(min_value=1, max_value=min(6, n)))
+    sources = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=n - 1),
+            min_size=k,
+            max_size=k,
+            unique=True,
+        )
+    )
+    buffer_pages = draw(st.sampled_from([3, 10, 20]))
+    return graph, sources, buffer_pages
+
+
+def oracle(graph):
+    nxg = nx.DiGraph()
+    nxg.add_nodes_from(range(graph.num_nodes))
+    nxg.add_edges_from(graph.arcs())
+    return {node: set(nx.descendants(nxg, node)) for node in nxg.nodes}
+
+
+class TestPartialClosure:
+    @given(dag_and_sources())
+    @settings(max_examples=30, deadline=None)
+    def test_every_algorithm_answers_selections_correctly(self, case):
+        graph, sources, buffer_pages = case
+        expected = oracle(graph)
+        query = Query.ptc(sources)
+        system = SystemConfig(buffer_pages=buffer_pages)
+        for name in ALGORITHM_NAMES:
+            result = make_algorithm(name).run(graph, query, system)
+            assert set(result.successor_bits) == set(query.sources), name
+            for source in query.sources:
+                assert set(result.successors_of(source)) == expected[source], (
+                    name,
+                    source,
+                )
+
+
+class TestFullClosure:
+    @given(dag_and_sources())
+    @settings(max_examples=20, deadline=None)
+    def test_every_algorithm_computes_full_closures_correctly(self, case):
+        graph, _sources, buffer_pages = case
+        expected = oracle(graph)
+        system = SystemConfig(buffer_pages=buffer_pages)
+        for name in FULL_CLOSURE_ALGOS:
+            result = make_algorithm(name).run(graph, Query.full(), system)
+            for node in graph.nodes():
+                assert set(result.successors_of(node)) == expected[node], (name, node)
+
+    @given(dag_and_sources())
+    @settings(max_examples=15, deadline=None)
+    def test_selecting_every_node_equals_the_full_closure(self, case):
+        """A PTC over all nodes must coincide with the CTC (the
+        convergence point of Figure 14)."""
+        graph, _sources, buffer_pages = case
+        system = SystemConfig(buffer_pages=buffer_pages)
+        all_nodes = Query.ptc(range(graph.num_nodes))
+        full = make_algorithm("btc").run(graph, Query.full(), system)
+        for name in ("btc", "bj", "jkb2"):
+            partial = make_algorithm(name).run(graph, all_nodes, system)
+            assert partial.successor_bits == full.successor_bits, name
+
+
+class TestCrossAlgorithmAgreement:
+    @given(dag_and_sources())
+    @settings(max_examples=20, deadline=None)
+    def test_all_algorithms_agree_with_each_other(self, case):
+        """Agreement is implied by oracle equality, but this variant
+        catches divergence even if the oracle itself were wrong."""
+        graph, sources, buffer_pages = case
+        query = Query.ptc(sources)
+        system = SystemConfig(buffer_pages=buffer_pages)
+        answers = {
+            name: make_algorithm(name).run(graph, query, system).successor_bits
+            for name in ALGORITHM_NAMES
+        }
+        reference = answers["btc"]
+        for name, bits in answers.items():
+            assert bits == reference, name

@@ -1,0 +1,86 @@
+"""Tests for the canonical G1..G12 graph suite (Tables 1 and 2)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.graphs.datasets import (
+    GRAPH_FAMILIES,
+    LOCALITIES,
+    OUT_DEGREES,
+    SELECTIVITIES,
+    build_graph,
+    graph_family,
+    sample_sources,
+)
+
+
+class TestFamilies:
+    def test_twelve_families(self):
+        assert len(GRAPH_FAMILIES) == 12
+        assert [family.name for family in GRAPH_FAMILIES] == [
+            f"G{i}" for i in range(1, 13)
+        ]
+
+    def test_parameter_grid_matches_table1(self):
+        assert OUT_DEGREES == (2, 5, 20, 50)
+        assert LOCALITIES == (20, 200, 2000)
+        assert SELECTIVITIES == (2, 5, 20, 200, 500, 1000, 2000)
+
+    def test_table2_ordering_f_slowest(self):
+        # G1..G3 share F=2 with l = 20, 200, 2000; G4..G6 share F=5; ...
+        assert (GRAPH_FAMILIES[0].avg_out_degree, GRAPH_FAMILIES[0].locality) == (2, 20)
+        assert (GRAPH_FAMILIES[5].avg_out_degree, GRAPH_FAMILIES[5].locality) == (5, 2000)
+        assert (GRAPH_FAMILIES[11].avg_out_degree, GRAPH_FAMILIES[11].locality) == (50, 2000)
+
+    def test_lookup_by_name(self):
+        family = graph_family("g9")
+        assert family.name == "G9"
+        assert family.avg_out_degree == 20
+        assert family.locality == 2000
+
+    def test_unknown_family_raises(self):
+        with pytest.raises(ConfigurationError):
+            graph_family("G13")
+
+
+class TestGeneration:
+    def test_paper_scale_has_2000_nodes(self):
+        graph = build_graph("G1", seed=0)
+        assert graph.num_nodes == 2000
+
+    def test_scaling_shrinks_nodes_and_locality(self):
+        graph = build_graph("G2", seed=0, scale=4)
+        assert graph.num_nodes == 500
+        for src, dst in graph.arcs():
+            assert dst - src <= 200 // 4
+
+    def test_seeds_give_distinct_graphs_within_a_family(self):
+        assert build_graph("G5", seed=0) != build_graph("G5", seed=1)
+
+    def test_families_give_distinct_graphs_for_same_seed(self):
+        assert build_graph("G5", seed=0) != build_graph("G6", seed=0)
+
+    def test_generation_is_reproducible_across_calls(self):
+        assert build_graph("G7", seed=2) == build_graph("G7", seed=2)
+
+    def test_invalid_scale_raises(self):
+        with pytest.raises(ConfigurationError):
+            build_graph("G1", scale=0)
+
+
+class TestSampleSources:
+    def test_count_and_uniqueness(self):
+        graph = build_graph("G3", seed=0, scale=8)
+        sources = sample_sources(graph, 20, seed=1)
+        assert len(sources) == 20
+        assert len(set(sources)) == 20
+
+    def test_count_clamped_to_graph_size(self):
+        graph = build_graph("G3", seed=0, scale=8)
+        sources = sample_sources(graph, 10_000, seed=1)
+        assert len(sources) == graph.num_nodes
+
+    def test_deterministic_per_seed(self):
+        graph = build_graph("G3", seed=0, scale=8)
+        assert sample_sources(graph, 5, seed=3) == sample_sources(graph, 5, seed=3)
+        assert sample_sources(graph, 5, seed=3) != sample_sources(graph, 5, seed=4)

@@ -1,0 +1,92 @@
+"""Tests for the Digraph type."""
+
+import pytest
+
+from repro.errors import InvalidNodeError
+from repro.graphs.digraph import Digraph
+
+
+class TestConstruction:
+    def test_from_arcs_deduplicates(self):
+        graph = Digraph.from_arcs(3, [(0, 1), (0, 1), (0, 2)])
+        assert graph.num_arcs == 2
+        assert graph.successors(0) == [1, 2]
+
+    def test_negative_node_count_raises(self):
+        with pytest.raises(InvalidNodeError):
+            Digraph(-1)
+
+    def test_out_of_range_arc_raises(self):
+        with pytest.raises(InvalidNodeError):
+            Digraph.from_arcs(2, [(0, 5)])
+
+    def test_empty_graph(self):
+        graph = Digraph(0)
+        assert graph.num_nodes == 0
+        assert graph.num_arcs == 0
+        assert list(graph.arcs()) == []
+
+    def test_add_arc_keeps_successors_sorted(self):
+        graph = Digraph(5)
+        for dst in (4, 1, 3, 2):
+            assert graph.add_arc(0, dst)
+        assert graph.successors(0) == [1, 2, 3, 4]
+
+    def test_add_duplicate_arc_returns_false(self):
+        graph = Digraph(3)
+        assert graph.add_arc(0, 1) is True
+        assert graph.add_arc(0, 1) is False
+        assert graph.num_arcs == 1
+
+
+class TestAccessors:
+    def test_has_arc(self):
+        graph = Digraph.from_arcs(4, [(0, 2), (1, 3)])
+        assert graph.has_arc(0, 2)
+        assert not graph.has_arc(0, 3)
+
+    def test_degrees(self):
+        graph = Digraph.from_arcs(4, [(0, 1), (0, 2), (1, 2)])
+        assert graph.out_degree(0) == 2
+        assert graph.in_degree(2) == 2
+        assert graph.in_degree(0) == 0
+
+    def test_predecessors_track_added_arcs(self):
+        graph = Digraph.from_arcs(4, [(0, 3)])
+        assert graph.predecessors(3) == [0]
+        graph.add_arc(1, 3)
+        assert graph.predecessors(3) == [0, 1]
+
+    def test_arcs_iterates_in_source_order(self):
+        arcs = [(0, 1), (0, 3), (2, 3)]
+        graph = Digraph.from_arcs(4, arcs)
+        assert list(graph.arcs()) == arcs
+
+    def test_invalid_node_queries_raise(self):
+        graph = Digraph(2)
+        with pytest.raises(InvalidNodeError):
+            graph.successors(2)
+        with pytest.raises(InvalidNodeError):
+            graph.out_degree(-1)
+
+
+class TestTransforms:
+    def test_reverse(self):
+        graph = Digraph.from_arcs(3, [(0, 1), (1, 2)])
+        reversed_graph = graph.reverse()
+        assert list(reversed_graph.arcs()) == [(1, 0), (2, 1)]
+
+    def test_reverse_twice_is_identity(self):
+        graph = Digraph.from_arcs(5, [(0, 1), (0, 4), (2, 3), (3, 4)])
+        assert graph.reverse().reverse() == graph
+
+    def test_induced_subgraph_keeps_ids_and_filters_arcs(self):
+        graph = Digraph.from_arcs(5, [(0, 1), (1, 2), (2, 3), (3, 4)])
+        sub = graph.induced_subgraph({1, 2, 4})
+        assert sub.num_nodes == 5  # id space preserved
+        assert list(sub.arcs()) == [(1, 2)]
+
+    def test_equality_is_structural(self):
+        a = Digraph.from_arcs(3, [(0, 1), (1, 2)])
+        b = Digraph.from_arcs(3, [(1, 2), (0, 1)])
+        assert a == b

@@ -1,0 +1,127 @@
+"""Tests for the experiment harness (profiles, runner, tables, figures)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.config import PROFILES, get_profile
+from repro.experiments.figures import FigureData, figure6, figure8, figure14
+from repro.experiments.queries import QuerySpec
+from repro.experiments.runner import average_runs, run_single
+from repro.experiments.tables import table2, table3, table4
+from repro.graphs.datasets import build_graph
+
+
+class TestProfiles:
+    def test_known_profiles(self):
+        assert set(PROFILES) == {"paper", "default", "smoke"}
+        assert get_profile("paper").scale == 1
+
+    def test_unknown_profile_raises(self):
+        with pytest.raises(ConfigurationError):
+            get_profile("huge")
+
+    def test_scaled_selectivity_floors_at_one(self):
+        smoke = get_profile("smoke")
+        assert smoke.scaled_selectivity(2) == 1
+        assert smoke.scaled_selectivity(2000) == 250
+
+    def test_build_respects_scale(self):
+        graph = get_profile("smoke").build("G1", seed=0)
+        assert graph.num_nodes == 250
+
+
+class TestQuerySpec:
+    def test_full_spec(self):
+        graph = build_graph("G1", scale=8)
+        assert QuerySpec.full().materialise(graph).is_full
+
+    def test_selection_spec_draws_sources(self):
+        graph = build_graph("G1", scale=8)
+        query = QuerySpec.selection(5).materialise(graph, sample_index=0)
+        assert query.selectivity == 5
+
+    def test_samples_differ_by_index(self):
+        graph = build_graph("G1", scale=8)
+        spec = QuerySpec.selection(5)
+        a = spec.materialise(graph, sample_index=0)
+        b = spec.materialise(graph, sample_index=1)
+        assert a.sources != b.sources
+
+
+class TestRunner:
+    def test_run_single_returns_a_result(self):
+        graph = build_graph("G2", scale=8)
+        result = run_single("btc", graph, QuerySpec.selection(3))
+        assert result.algorithm == "btc"
+        assert result.metrics.total_io > 0
+
+    def test_average_runs_averages(self):
+        smoke = get_profile("smoke")
+        averaged = average_runs("btc", "G2", QuerySpec.selection(3), smoke)
+        assert averaged.runs == smoke.graphs_per_family * smoke.source_samples
+        assert averaged.total_io > 0
+
+    def test_full_query_skips_source_sampling(self):
+        smoke = get_profile("smoke")
+        averaged = average_runs("btc", "G2", QuerySpec.full(), smoke)
+        assert averaged.runs == smoke.graphs_per_family
+
+
+class TestTables:
+    def test_table2_covers_all_families(self):
+        rows = table2("smoke")
+        assert [row["graph"] for row in rows] == [f"G{i}" for i in range(1, 13)]
+        for row in rows:
+            assert row["arcs"] > 0
+            assert row["H"] >= 1
+
+    def test_table2_trends_match_the_paper(self):
+        """Higher F / lower l gives deeper graphs; irredundant arc
+        locality is no worse than overall locality (Section 5.3)."""
+        rows = {row["graph"]: row for row in table2("smoke")}
+        assert rows["G12"]["H"] > rows["G3"]["H"]
+        for row in rows.values():
+            assert row["avg_irred_loc"] <= row["avg_loc"]
+
+    def test_table3_shows_io_bound_execution(self):
+        rows = table3("smoke")
+        assert [row["M"] for row in rows] == [10, 20, 50]
+        assert all(row["io_bound"] for row in rows)
+        assert rows[0]["page_io"] >= rows[-1]["page_io"]
+
+    def test_table4_is_sorted_by_width(self):
+        rows = table4("smoke", selectivities=(5,))
+        widths = [row["W"] for row in rows]
+        assert widths == sorted(widths)
+        assert all(row["jkb2/btc@s=5"] > 0 for row in rows)
+
+
+class TestFigures:
+    def test_figure6_has_all_curves(self):
+        data = figure6("smoke", buffer_sizes=(10, 20))
+        assert isinstance(data, FigureData)
+        assert set(data.series) == {"BTC", "HYB-0", "HYB-0.1", "HYB-0.2", "HYB-0.3"}
+        assert data.xs == [10, 20]
+
+    def test_figure6_hyb0_equals_btc(self):
+        data = figure6("smoke", buffer_sizes=(10,))
+        assert data.series["HYB-0"] == data.series["BTC"]
+
+    def test_figure8_panels(self):
+        panels = figure8("smoke", selectivities=(2, 20))
+        assert set(panels) == {"a", "b"}
+        for panel in panels.values():
+            assert set(panel.series) == {"BTC", "BJ", "JKB2", "SRCH"}
+            assert len(panel.xs) == 2
+
+    def test_figure14_converges_at_full_selectivity(self):
+        """At s = n the BTC and BJ curves coincide (Section 6.3.6)."""
+        panels = figure14("smoke", selectivities=(2000,))
+        io = panels["a"].series
+        assert io["BTC"][-1] == io["BJ"][-1]
+
+    def test_render_produces_text(self):
+        data = figure6("smoke", buffer_sizes=(10,))
+        text = data.render()
+        assert "BTC" in text
+        assert "M" in text

@@ -1,0 +1,41 @@
+"""Tests for CSV export of experiment results."""
+
+import csv
+
+import pytest
+
+from repro.experiments.export import export_all, main
+
+
+class TestExportAll:
+    def test_table_export(self, tmp_path):
+        written = export_all("smoke", tmp_path, only=["table2"])
+        assert [path.name for path in written] == ["table2.csv"]
+        with written[0].open() as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 12
+        assert rows[0]["graph"] == "G1"
+
+    def test_figure_export_writes_one_file_per_panel(self, tmp_path):
+        written = export_all("smoke", tmp_path, only=["figure11"])
+        assert sorted(path.name for path in written) == [
+            "figure11_a.csv",
+            "figure11_b.csv",
+        ]
+        with written[0].open() as handle:
+            rows = list(csv.DictReader(handle))
+        assert "BTC" in rows[0]
+        assert "s" in rows[0]
+
+    def test_single_panel_figures_have_no_suffix(self, tmp_path):
+        written = export_all("smoke", tmp_path, only=["figure6"])
+        assert [path.name for path in written] == ["figure6.csv"]
+
+    def test_unknown_experiment_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            export_all("smoke", tmp_path, only=["figure0"])
+
+    def test_cli_prints_paths(self, tmp_path, capsys):
+        assert main(["--profile", "smoke", "--out", str(tmp_path),
+                     "--only", "table3"]) == 0
+        assert "table3.csv" in capsys.readouterr().out

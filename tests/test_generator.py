@@ -1,0 +1,97 @@
+"""Tests for the synthetic DAG generator (Section 5.2 semantics)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.graphs.generator import generate_dag
+from repro.graphs.toposort import is_acyclic
+
+
+class TestValidation:
+    def test_zero_nodes_raises(self):
+        with pytest.raises(ConfigurationError):
+            generate_dag(0, 2, 10)
+
+    def test_negative_degree_raises(self):
+        with pytest.raises(ConfigurationError):
+            generate_dag(10, -1, 10)
+
+    def test_zero_locality_raises(self):
+        with pytest.raises(ConfigurationError):
+            generate_dag(10, 2, 0)
+
+
+class TestStructure:
+    def test_arcs_go_forward(self):
+        graph = generate_dag(200, 4, 30, seed=0)
+        for src, dst in graph.arcs():
+            assert src < dst
+
+    def test_generated_graph_is_acyclic(self):
+        assert is_acyclic(generate_dag(150, 5, 40, seed=1))
+
+    def test_locality_bounds_arc_span(self):
+        locality = 13
+        graph = generate_dag(200, 4, locality, seed=2)
+        for src, dst in graph.arcs():
+            assert dst - src <= locality
+
+    def test_out_degree_at_most_twice_f(self):
+        f = 3
+        graph = generate_dag(300, f, 300, seed=3)
+        for node in graph.nodes():
+            assert graph.out_degree(node) <= 2 * f
+
+    def test_average_out_degree_is_near_f(self):
+        f = 5
+        graph = generate_dag(2000, f, 2000, seed=4)
+        average = graph.num_arcs / graph.num_nodes
+        # Uniform on 0..2F has mean F; allow generous sampling noise.
+        assert f * 0.8 <= average <= f * 1.2
+
+    def test_tight_locality_caps_realised_degree(self):
+        # Footnote 1 of the paper (graph G10): locality 20 cannot
+        # support an average out-degree of 50.
+        graph = generate_dag(2000, 50, 20, seed=5)
+        assert graph.num_arcs < 2000 * 50 * 0.5
+
+    def test_zero_degree_gives_empty_graph(self):
+        graph = generate_dag(50, 0, 10, seed=6)
+        assert graph.num_arcs == 0
+
+    def test_single_node_graph(self):
+        graph = generate_dag(1, 5, 10, seed=7)
+        assert graph.num_nodes == 1
+        assert graph.num_arcs == 0
+
+
+class TestDeterminism:
+    def test_same_seed_same_graph(self):
+        a = generate_dag(100, 3, 20, seed=11)
+        b = generate_dag(100, 3, 20, seed=11)
+        assert a == b
+
+    def test_different_seed_different_graph(self):
+        a = generate_dag(100, 3, 20, seed=11)
+        b = generate_dag(100, 3, 20, seed=12)
+        assert a != b
+
+
+class TestProperties:
+    @given(
+        n=st.integers(min_value=1, max_value=120),
+        f=st.integers(min_value=0, max_value=8),
+        locality=st.integers(min_value=1, max_value=120),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_invariants_hold_for_all_parameters(self, n, f, locality, seed):
+        graph = generate_dag(n, f, locality, seed=seed)
+        assert graph.num_nodes == n
+        for src, dst in graph.arcs():
+            assert src < dst
+            assert dst - src <= locality
+        for node in graph.nodes():
+            assert graph.out_degree(node) <= 2 * f or f == 0

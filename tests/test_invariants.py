@@ -1,0 +1,126 @@
+"""Cross-cutting accounting invariants of the simulator.
+
+The paper's analysis leans on relationships between its cost metrics
+(Sections 5.3, 6.3, 7); these tests pin the relationships down as
+executable invariants over random workloads.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.query import Query, SystemConfig
+from repro.core.registry import ALGORITHM_NAMES, make_algorithm
+from repro.graphs.analysis import transitive_reduction_arcs
+from repro.graphs.generator import generate_dag
+from repro.storage.iostats import Phase
+
+
+@st.composite
+def workloads(draw):
+    n = draw(st.integers(min_value=2, max_value=60))
+    f = draw(st.integers(min_value=1, max_value=5))
+    seed = draw(st.integers(min_value=0, max_value=50_000))
+    graph = generate_dag(n, f, max(1, n // 2), seed=seed)
+    k = draw(st.integers(min_value=1, max_value=min(4, n)))
+    sources = list(range(0, n, max(1, n // k)))[:k]
+    return graph, sources
+
+
+class TestIoAccounting:
+    @given(workloads(), st.sampled_from(ALGORITHM_NAMES))
+    @settings(max_examples=40, deadline=None)
+    def test_requests_split_into_hits_and_reads(self, workload, name):
+        graph, sources = workload
+        metrics = make_algorithm(name).run(graph, Query.ptc(sources)).metrics
+        io = metrics.io
+        assert io.total_requests == io.total_hits + io.total_reads
+
+    @given(workloads(), st.sampled_from(ALGORITHM_NAMES))
+    @settings(max_examples=40, deadline=None)
+    def test_phase_io_sums_to_total(self, workload, name):
+        graph, sources = workload
+        io = make_algorithm(name).run(graph, Query.ptc(sources)).metrics.io
+        phase_reads = sum(io.reads_in(phase) for phase in Phase)
+        phase_writes = sum(io.writes_in(phase) for phase in Phase)
+        assert phase_reads == io.total_reads
+        assert phase_writes == io.total_writes
+
+    @given(workloads())
+    @settings(max_examples=25, deadline=None)
+    def test_bigger_buffer_never_costs_more_for_btc(self, workload):
+        """LRU is not strictly inclusive, but for these workloads the
+        paper's monotone trend (Figure 13) must hold between extremes."""
+        graph, sources = workload
+        query = Query.ptc(sources)
+        small = make_algorithm("btc").run(graph, query, SystemConfig(buffer_pages=3))
+        large = make_algorithm("btc").run(graph, query, SystemConfig(buffer_pages=200))
+        assert large.metrics.total_io <= small.metrics.total_io
+
+
+class TestMetricRelationships:
+    @given(workloads(), st.sampled_from(ALGORITHM_NAMES))
+    @settings(max_examples=40, deadline=None)
+    def test_duplicates_never_exceed_tuples_read(self, workload, name):
+        graph, sources = workload
+        metrics = make_algorithm(name).run(graph, Query.ptc(sources)).metrics
+        assert 0 <= metrics.duplicates <= metrics.tuple_io
+
+    @given(workloads())
+    @settings(max_examples=30, deadline=None)
+    def test_flat_list_duplicates_never_exceed_generated(self, workload):
+        """For the flat-list algorithms every duplicate is a generated
+        tuple; the tree algorithms prune whole subtrees per duplicate
+        encounter, so only the tuple-I/O bound applies to them."""
+        graph, sources = workload
+        for name in ("btc", "hyb", "bj", "srch"):
+            metrics = make_algorithm(name).run(graph, Query.ptc(sources)).metrics
+            assert 0 <= metrics.duplicates <= metrics.tuples_generated, name
+
+    @given(workloads(), st.sampled_from(ALGORITHM_NAMES))
+    @settings(max_examples=40, deadline=None)
+    def test_marked_arcs_never_exceed_considered(self, workload, name):
+        graph, sources = workload
+        metrics = make_algorithm(name).run(graph, Query.ptc(sources)).metrics
+        assert 0 <= metrics.arcs_marked <= metrics.arcs_considered
+
+    @given(workloads(), st.sampled_from(ALGORITHM_NAMES))
+    @settings(max_examples=40, deadline=None)
+    def test_selection_efficiency_is_a_ratio(self, workload, name):
+        graph, sources = workload
+        metrics = make_algorithm(name).run(graph, Query.ptc(sources)).metrics
+        assert 0.0 <= metrics.selection_efficiency <= 1.0
+
+    @given(workloads())
+    @settings(max_examples=30, deadline=None)
+    def test_flat_algorithms_generate_at_least_the_answer(self, workload):
+        """tc >= stc for the flat-list algorithms (Section 6.3.2)."""
+        graph, sources = workload
+        for name in ("btc", "bj", "srch"):
+            metrics = make_algorithm(name).run(graph, Query.ptc(sources)).metrics
+            assert metrics.tuples_generated + metrics.distinct_tuples >= metrics.output_tuples
+
+    @given(workloads())
+    @settings(max_examples=30, deadline=None)
+    def test_btc_marks_exactly_the_redundant_magic_arcs(self, workload):
+        graph, sources = workload
+        result = make_algorithm("btc").run(graph, Query.ptc(sources))
+        from repro.graphs.toposort import reachable_from
+
+        scope = reachable_from(graph, sources)
+        _irr, redundant = transitive_reduction_arcs(graph, scope)
+        assert result.metrics.arcs_marked == len(redundant)
+
+    @given(workloads())
+    @settings(max_examples=30, deadline=None)
+    def test_store_length_matches_list_contents_for_btc(self, workload):
+        """The physical list length tracks the logical bitset exactly."""
+        graph, sources = workload
+        from repro.core.btc import BtcAlgorithm
+        from repro.core.context import ExecutionContext
+
+        algorithm = BtcAlgorithm()
+        ctx = ExecutionContext(graph, Query.ptc(sources), SystemConfig())
+        algorithm.restructure(ctx)
+        algorithm.compute(ctx)
+        for node in ctx.topo_order:
+            assert ctx.store.length(node) == ctx.lists[node].bit_count()

@@ -1,0 +1,39 @@
+"""Tests for magic-subgraph identification."""
+
+from repro.graphs.digraph import Digraph
+from repro.graphs.magic import magic_subgraph
+
+
+class TestMagicSubgraph:
+    def test_contains_sources(self):
+        graph = Digraph.from_arcs(4, [(0, 1)])
+        magic = magic_subgraph(graph, [3])
+        assert 3 in magic
+        assert magic.nodes == {3}
+
+    def test_contains_reachable_nodes_only(self):
+        graph = Digraph.from_arcs(6, [(0, 1), (1, 2), (3, 4), (4, 5)])
+        magic = magic_subgraph(graph, [0])
+        assert magic.nodes == {0, 1, 2}
+
+    def test_arc_count_covers_outgoing_arcs_of_magic_nodes(self):
+        graph = Digraph.from_arcs(5, [(0, 1), (1, 2), (1, 3), (4, 0)])
+        magic = magic_subgraph(graph, [0])
+        # Node 4 and its arc (4,0) are outside; the other 3 arcs are in.
+        assert magic.num_arcs == 3
+
+    def test_duplicate_sources_collapse(self):
+        graph = Digraph.from_arcs(3, [(0, 1)])
+        magic = magic_subgraph(graph, [0, 0, 1])
+        assert magic.sources == (0, 1)
+
+    def test_multi_source_union(self):
+        graph = Digraph.from_arcs(6, [(0, 1), (2, 3)])
+        magic = magic_subgraph(graph, [0, 2])
+        assert magic.nodes == {0, 1, 2, 3}
+
+    def test_closed_under_successors(self, medium_dag):
+        magic = magic_subgraph(medium_dag, [0, 10, 20])
+        for node in magic.nodes:
+            for child in medium_dag.successors(node):
+                assert child in magic

@@ -1,0 +1,98 @@
+"""Tests for the metric counters and their derived measures."""
+
+import pytest
+
+from repro.metrics.counters import MetricSet
+from repro.storage.iostats import Phase
+from repro.storage.page import PageKind
+
+
+class TestDerivedMeasures:
+    def test_marking_percentage(self):
+        metrics = MetricSet()
+        metrics.arcs_considered = 10
+        metrics.arcs_marked = 3
+        assert metrics.marking_percentage == pytest.approx(0.3)
+
+    def test_marking_percentage_without_arcs(self):
+        assert MetricSet().marking_percentage == 0.0
+
+    def test_selection_efficiency(self):
+        metrics = MetricSet()
+        metrics.tuples_generated = 200
+        metrics.output_tuples = 50
+        assert metrics.selection_efficiency == pytest.approx(0.25)
+
+    def test_selection_efficiency_capped_at_one(self):
+        metrics = MetricSet()
+        metrics.tuples_generated = 10
+        metrics.output_tuples = 50  # tree algorithms can answer more
+        assert metrics.selection_efficiency == 1.0
+
+    def test_selection_efficiency_of_empty_run(self):
+        assert MetricSet().selection_efficiency == 1.0
+
+    def test_avg_unmarked_locality(self):
+        metrics = MetricSet()
+        metrics.arcs_considered = 5
+        metrics.arcs_marked = 1
+        metrics.unmarked_locality_total = 8
+        assert metrics.avg_unmarked_locality == pytest.approx(2.0)
+
+    def test_avg_unmarked_locality_all_marked(self):
+        metrics = MetricSet()
+        metrics.arcs_considered = 3
+        metrics.arcs_marked = 3
+        assert metrics.avg_unmarked_locality == 0.0
+
+    def test_total_io_delegates_to_iostats(self):
+        metrics = MetricSet()
+        metrics.io.record_read(PageKind.SUCCESSOR)
+        metrics.io.record_write(PageKind.SUCCESSOR)
+        assert metrics.total_io == 2
+
+    def test_estimated_io_seconds(self):
+        metrics = MetricSet()
+        for _ in range(50):
+            metrics.io.record_read(PageKind.RELATION)
+        assert metrics.estimated_io_seconds() == pytest.approx(1.0)
+
+
+class TestSummary:
+    def test_summary_contains_every_headline_metric(self):
+        summary = MetricSet().summary()
+        for key in (
+            "total_io",
+            "restructure_io",
+            "compute_io",
+            "writeout_io",
+            "tuples_generated",
+            "duplicates",
+            "distinct_tuples",
+            "output_tuples",
+            "tuple_io",
+            "list_unions",
+            "list_reads",
+            "marking_percentage",
+            "selection_efficiency",
+            "avg_unmarked_locality",
+            "hit_ratio",
+            "cpu_seconds",
+            "estimated_io_seconds",
+        ):
+            assert key in summary
+
+    def test_summary_phase_split_sums_to_total(self):
+        metrics = MetricSet()
+        metrics.io.phase = Phase.RESTRUCTURE
+        metrics.io.record_read(PageKind.RELATION)
+        metrics.io.phase = Phase.COMPUTE
+        metrics.io.record_read(PageKind.SUCCESSOR)
+        metrics.io.record_write(PageKind.SUCCESSOR)
+        metrics.io.phase = Phase.WRITEOUT
+        metrics.io.record_write(PageKind.SUCCESSOR)
+        summary = metrics.summary()
+        assert (
+            summary["restructure_io"] + summary["compute_io"] + summary["writeout_io"]
+            == summary["total_io"]
+        )

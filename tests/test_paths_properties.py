@@ -1,0 +1,146 @@
+"""Property-based tests for the generalized closure's algebra.
+
+These pin down the semantics independent of any oracle: semiring
+axioms for the provided instances, and structural laws of the closure
+itself (boolean consistency, label-scaling equivariance, monotonicity
+under arc insertion).
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.generator import generate_dag
+from repro.paths import (
+    BOOLEAN,
+    COUNT,
+    MAX_MIN,
+    MAX_PLUS,
+    MAX_PROB,
+    MIN_PLUS,
+    WeightedDigraph,
+    generalized_closure,
+    shortest_distances,
+)
+
+ALL_SEMIRINGS = (BOOLEAN, MIN_PLUS, MAX_PLUS, MAX_MIN, MAX_PROB, COUNT)
+
+
+def domain_values(semiring):
+    """A hypothesis strategy over sensible values for each semiring."""
+    if semiring is BOOLEAN:
+        return st.booleans()
+    if semiring is MAX_PROB:
+        return st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+    if semiring is COUNT:
+        return st.integers(min_value=0, max_value=50)
+    return st.integers(min_value=-20, max_value=20)
+
+
+class TestSemiringAxioms:
+    @given(data=st.data(), semiring=st.sampled_from(ALL_SEMIRINGS))
+    @settings(max_examples=60, deadline=None)
+    def test_plus_is_commutative_and_associative_with_zero(self, data, semiring):
+        values = domain_values(semiring)
+        a, b, c = data.draw(values), data.draw(values), data.draw(values)
+        plus = semiring.plus
+        assert plus(a, b) == plus(b, a)
+        assert plus(plus(a, b), c) == plus(a, plus(b, c))
+        assert plus(a, semiring.zero) == a
+
+    @given(data=st.data(), semiring=st.sampled_from(ALL_SEMIRINGS))
+    @settings(max_examples=60, deadline=None)
+    def test_times_has_identity_and_annihilator(self, data, semiring):
+        a = data.draw(domain_values(semiring))
+        times = semiring.times
+        assert times(semiring.one, a) == a
+        assert times(a, semiring.one) == a
+        assert times(semiring.zero, a) == semiring.zero
+
+    @given(data=st.data(), semiring=st.sampled_from(ALL_SEMIRINGS))
+    @settings(max_examples=60, deadline=None)
+    def test_times_distributes_over_plus(self, data, semiring):
+        values = domain_values(semiring)
+        a, b, c = data.draw(values), data.draw(values), data.draw(values)
+        plus, times = semiring.plus, semiring.times
+        left = times(a, plus(b, c))
+        right = plus(times(a, b), times(a, c))
+        if semiring is MAX_PROB:
+            assert abs(left - right) < 1e-9
+        else:
+            assert left == right
+
+    @given(data=st.data(), semiring=st.sampled_from(ALL_SEMIRINGS))
+    @settings(max_examples=40, deadline=None)
+    def test_idempotence_flag_is_truthful(self, data, semiring):
+        a = data.draw(domain_values(semiring))
+        if semiring.idempotent_plus:
+            assert semiring.plus(a, a) == a
+
+
+def weighted_case(n: int, seed: int) -> WeightedDigraph:
+    graph = generate_dag(n, 2, max(1, n // 2), seed=seed)
+    rng = random.Random(seed)
+    return WeightedDigraph(graph, {arc: rng.randint(1, 9) for arc in graph.arcs()})
+
+
+class TestClosureLaws:
+    @given(
+        n=st.integers(min_value=1, max_value=40),
+        seed=st.integers(min_value=0, max_value=3_000),
+        semiring=st.sampled_from((MIN_PLUS, MAX_PLUS, MAX_MIN, COUNT)),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_support_equals_reachability(self, n, seed, semiring):
+        """Whatever the semiring, a pair has a non-zero aggregate iff
+        it is reachable (boolean consistency)."""
+        weighted = weighted_case(n, seed)
+        closure = generalized_closure(weighted, semiring)
+        boolean = generalized_closure(
+            WeightedDigraph.uniform(weighted.graph, True), BOOLEAN
+        )
+        for node in range(n):
+            assert set(closure.values[node]) == set(boolean.values[node])
+
+    @given(
+        n=st.integers(min_value=1, max_value=30),
+        seed=st.integers(min_value=0, max_value=3_000),
+        factor=st.integers(min_value=2, max_value=5),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_min_plus_scales_with_the_labels(self, n, seed, factor):
+        """Multiplying every label by k multiplies every distance by k."""
+        weighted = weighted_case(n, seed)
+        scaled = WeightedDigraph(
+            weighted.graph,
+            {(s, d): factor * label for s, d, label in weighted.labelled_arcs()},
+        )
+        base = shortest_distances(weighted)
+        big = shortest_distances(scaled)
+        for node in range(n):
+            for successor, value in base.values[node].items():
+                assert big.values[node][successor] == factor * value
+
+    @given(
+        n=st.integers(min_value=2, max_value=30),
+        seed=st.integers(min_value=0, max_value=3_000),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_adding_an_arc_never_increases_distances(self, n, seed):
+        """min-plus aggregates are monotone under arc insertion."""
+        weighted = weighted_case(n, seed)
+        base = shortest_distances(weighted)
+
+        # Insert one new forward arc (keeping the graph acyclic).
+        rng = random.Random(seed + 7)
+        src = rng.randrange(n - 1)
+        dst = rng.randrange(src + 1, n)
+        arcs = list(weighted.labelled_arcs())
+        if not weighted.graph.has_arc(src, dst):
+            arcs.append((src, dst, rng.randint(1, 9)))
+        bigger = WeightedDigraph.from_labelled_arcs(n, arcs)
+        richer = shortest_distances(bigger)
+        for node in range(n):
+            for successor, value in base.values[node].items():
+                assert richer.values[node][successor] <= value

@@ -1,0 +1,57 @@
+"""Tests for Query and SystemConfig."""
+
+import pytest
+
+from repro.core.query import Query, SystemConfig
+from repro.errors import ConfigurationError
+from repro.storage.successor_store import ListPlacementPolicy
+
+
+class TestQuery:
+    def test_full_query(self):
+        query = Query.full()
+        assert query.is_full
+        assert query.sources is None
+        assert query.selectivity is None
+
+    def test_ptc_query(self):
+        query = Query.ptc([3, 1, 2])
+        assert not query.is_full
+        assert query.sources == (3, 1, 2)
+        assert query.selectivity == 3
+
+    def test_ptc_deduplicates_preserving_order(self):
+        assert Query.ptc([5, 1, 5, 2, 1]).sources == (5, 1, 2)
+
+    def test_empty_ptc_raises(self):
+        with pytest.raises(ConfigurationError):
+            Query.ptc([])
+
+    def test_query_is_hashable(self):
+        assert hash(Query.ptc([1, 2])) == hash(Query.ptc([1, 2]))
+
+
+class TestSystemConfig:
+    def test_defaults(self):
+        config = SystemConfig()
+        assert config.buffer_pages == 20
+        assert config.page_policy == "lru"
+        assert config.list_policy is ListPlacementPolicy.MOVE_SELF
+
+    def test_non_positive_buffer_raises(self):
+        with pytest.raises(ConfigurationError):
+            SystemConfig(buffer_pages=0)
+
+    def test_ilimit_bounds(self):
+        with pytest.raises(ConfigurationError):
+            SystemConfig(ilimit=1.5)
+        with pytest.raises(ConfigurationError):
+            SystemConfig(ilimit=-0.1)
+
+    def test_list_policy_accepts_strings(self):
+        config = SystemConfig(list_policy="move_largest")
+        assert config.list_policy is ListPlacementPolicy.MOVE_LARGEST
+
+    def test_invalid_list_policy_string_raises(self):
+        with pytest.raises(ValueError):
+            SystemConfig(list_policy="move_everything")

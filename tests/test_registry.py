@@ -1,0 +1,30 @@
+"""Tests for the algorithm registry."""
+
+import pytest
+
+from repro.core.registry import ALGORITHM_NAMES, make_algorithm
+from repro.errors import UnknownAlgorithmError
+
+
+class TestRegistry:
+    def test_paper_suite_is_registered(self):
+        assert ALGORITHM_NAMES == ("btc", "hyb", "bj", "srch", "spn", "jkb", "jkb2")
+
+    def test_names_resolve_to_matching_algorithms(self):
+        for name in ALGORITHM_NAMES:
+            assert make_algorithm(name).name == name
+
+    def test_lookup_is_case_insensitive(self):
+        assert make_algorithm("BTC").name == "btc"
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(UnknownAlgorithmError):
+            make_algorithm("warshall")
+
+    def test_each_call_returns_a_fresh_instance(self):
+        assert make_algorithm("btc") is not make_algorithm("btc")
+
+    def test_jkb_variants_differ_in_representation(self):
+        assert make_algorithm("jkb").dual_representation is False
+        assert make_algorithm("jkb2").dual_representation is True
+        assert make_algorithm("jkb2").needs_inverse is True

@@ -1,0 +1,123 @@
+"""Tests for the clustered arc relation and its inverse."""
+
+import pytest
+
+from repro.graphs.digraph import Digraph
+from repro.graphs.generator import generate_dag
+from repro.storage.buffer import BufferPool
+from repro.storage.page import TUPLES_PER_PAGE, PageKind
+from repro.storage.relation import ArcRelation, InverseArcRelation
+
+
+def wide_graph(num_nodes: int = 40, fanout: int = 30) -> Digraph:
+    """A graph with enough arcs to span several relation pages."""
+    arcs = [
+        (src, dst)
+        for src in range(num_nodes)
+        for dst in range(src + 1, min(src + 1 + fanout, num_nodes))
+    ]
+    return Digraph.from_arcs(num_nodes, arcs)
+
+
+class TestLayout:
+    def test_page_count_matches_tuple_count(self):
+        graph = wide_graph()
+        relation = ArcRelation(graph)
+        assert relation.num_tuples == graph.num_arcs
+        expected_pages = -(-graph.num_arcs // TUPLES_PER_PAGE)
+        assert relation.num_pages == expected_pages
+
+    def test_tuples_are_clustered_by_source(self):
+        graph = wide_graph()
+        relation = ArcRelation(graph)
+        # A node's tuples occupy a contiguous page range.
+        for node in graph.nodes():
+            pages = list(relation.pages_for_node(node))
+            assert pages == sorted(pages)
+            if pages:
+                assert pages[-1] - pages[0] <= len(pages)
+
+    def test_page_of_arc_is_inside_the_nodes_run(self):
+        graph = wide_graph()
+        relation = ArcRelation(graph)
+        for src, dst in list(graph.arcs())[:200]:
+            assert relation.page_of_arc(src, dst) in relation.pages_for_node(src)
+
+    def test_page_of_missing_arc_raises(self):
+        graph = Digraph.from_arcs(3, [(0, 1)])
+        relation = ArcRelation(graph)
+        with pytest.raises(KeyError):
+            relation.page_of_arc(0, 2)
+
+    def test_empty_node_has_no_pages(self):
+        graph = Digraph.from_arcs(3, [(0, 1)])
+        relation = ArcRelation(graph)
+        assert list(relation.pages_for_node(2)) == []
+
+
+class TestChargedAccess:
+    def test_scan_touches_every_page_once(self):
+        graph = wide_graph()
+        pool = BufferPool(100)
+        relation = ArcRelation(graph)
+        touched = relation.scan(pool)
+        assert touched == relation.num_pages
+        assert pool.stats.reads_of(PageKind.RELATION) == relation.num_pages
+
+    def test_read_successors_charges_index_and_data(self):
+        graph = wide_graph()
+        pool = BufferPool(100)
+        relation = ArcRelation(graph)
+        successors = relation.read_successors(5, pool)
+        assert successors == graph.successors(5)
+        assert pool.stats.reads_of(PageKind.INDEX) == 2  # root + leaf
+        assert pool.stats.reads_of(PageKind.RELATION) >= 1
+
+    def test_index_root_caches_across_lookups(self):
+        graph = wide_graph()
+        pool = BufferPool(100)
+        relation = ArcRelation(graph)
+        relation.read_successors(5, pool)
+        before = pool.stats.total_reads
+        relation.read_successors(6, pool)
+        # Root and leaf already resident; only new data pages fault.
+        extra_index_reads = pool.stats.reads_of(PageKind.INDEX)
+        assert extra_index_reads == 2  # unchanged
+        assert pool.stats.total_reads >= before
+
+    def test_unclustered_probe_charges_one_access_per_arc(self):
+        graph = wide_graph()
+        pool = BufferPool(2)  # tiny pool: most probes miss
+        relation = ArcRelation(graph)
+        relation.probe_arcs_unclustered(50, pool, seed_position=3)
+        assert pool.stats.total_requests == 50
+
+    def test_unclustered_probe_on_empty_relation_is_free(self):
+        graph = Digraph(4)
+        pool = BufferPool(2)
+        relation = ArcRelation(graph)
+        relation.probe_arcs_unclustered(10, pool, seed_position=0)
+        assert pool.stats.total_requests == 0
+
+
+class TestInverseRelation:
+    def test_reads_predecessors(self):
+        graph = Digraph.from_arcs(4, [(0, 2), (1, 2), (2, 3)])
+        pool = BufferPool(10)
+        inverse = InverseArcRelation(graph)
+        assert inverse.read_predecessors(2, pool) == [0, 1]
+        assert inverse.read_predecessors(3, pool) == [2]
+
+    def test_uses_its_own_page_space(self):
+        graph = generate_dag(50, 3, 10, seed=1)
+        pool = BufferPool(100)
+        ArcRelation(graph).scan(pool)
+        inverse = InverseArcRelation(graph)
+        inverse.read_predecessors(10, pool)
+        assert pool.stats.reads_of(PageKind.INVERSE_INDEX) == 2
+        # Forward relation reads were not polluted by the inverse scan.
+        assert pool.stats.reads_of(PageKind.RELATION) == ArcRelation(graph).num_pages
+
+    def test_inverse_tuple_count_matches(self):
+        graph = generate_dag(50, 3, 10, seed=2)
+        assert InverseArcRelation(graph).num_tuples == graph.num_arcs

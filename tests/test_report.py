@@ -1,0 +1,49 @@
+"""Tests for text table rendering."""
+
+from repro.metrics.report import format_series, format_table
+
+
+class TestFormatTable:
+    def test_empty_rows(self):
+        assert "(no rows)" in format_table([])
+
+    def test_alignment_and_order(self):
+        rows = [{"name": "G1", "io": 123}, {"name": "G2", "io": 7}]
+        text = format_table(rows)
+        lines = text.splitlines()
+        assert lines[0].split() == ["name", "io"]
+        assert lines[2].split() == ["G1", "123"]
+        assert lines[3].split() == ["G2", "7"]
+
+    def test_title_included(self):
+        text = format_table([{"a": 1}], title="Table X")
+        assert text.splitlines()[0] == "Table X"
+
+    def test_explicit_column_subset(self):
+        rows = [{"a": 1, "b": 2, "c": 3}]
+        text = format_table(rows, columns=["c", "a"])
+        assert text.splitlines()[0].split() == ["c", "a"]
+
+    def test_missing_cells_render_empty(self):
+        rows = [{"a": 1}, {"a": 2, "b": 5}]
+        text = format_table(rows, columns=["a", "b"])
+        assert "5" in text
+
+    def test_floats_are_compact(self):
+        text = format_table([{"x": 0.333333333}])
+        assert "0.3333" in text
+
+
+class TestFormatSeries:
+    def test_series_layout(self):
+        text = format_series(
+            "Figure N", xs=[10, 20], series={"BTC": [5, 3], "HYB": [6, 4]}, x_label="M"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Figure N"
+        assert lines[1].split() == ["M", "BTC", "HYB"]
+        assert lines[3].split() == ["10", "5", "6"]
+
+    def test_short_series_pad_with_blanks(self):
+        text = format_series("t", xs=[1, 2], series={"A": [9]}, x_label="x")
+        assert text  # renders without raising

@@ -1,0 +1,37 @@
+"""Tests for the ClosureResult type."""
+
+from repro.core.query import Query, SystemConfig
+from repro.core.result import ClosureResult
+from repro.metrics.counters import MetricSet
+
+
+def make_result(bits: dict[int, int]) -> ClosureResult:
+    return ClosureResult(
+        algorithm="btc",
+        query=Query.full(),
+        system=SystemConfig(),
+        metrics=MetricSet(),
+        successor_bits=bits,
+    )
+
+
+class TestClosureResult:
+    def test_successors_of(self):
+        result = make_result({0: 0b1110, 1: 0})
+        assert result.successors_of(0) == [1, 2, 3]
+        assert result.successors_of(1) == []
+        assert result.successors_of(99) == []
+
+    def test_tuples_sorted(self):
+        result = make_result({1: 0b100, 0: 0b10})
+        assert result.tuples() == [(0, 1), (1, 2)]
+
+    def test_num_tuples(self):
+        result = make_result({0: 0b1110, 1: 0b1})
+        assert result.num_tuples == 4
+
+    def test_reaches(self):
+        result = make_result({0: 0b100})
+        assert result.reaches(0, 2)
+        assert not result.reaches(0, 1)
+        assert not result.reaches(5, 2)

@@ -1,0 +1,36 @@
+"""Tests for the run-everything experiment driver."""
+
+import pytest
+
+from repro.experiments.run_all import main
+
+
+class TestRunAll:
+    def test_single_table(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["--profile", "smoke", "--only", "table3", "--no-file"]) == 0
+        output = capsys.readouterr().out
+        assert "Table 3" in output
+        assert "page_io" in output
+
+    def test_writes_output_file(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["--profile", "smoke", "--only", "table3"]) == 0
+        path = tmp_path / "experiments_output_smoke.txt"
+        assert path.exists()
+        assert "Table 3" in path.read_text()
+
+    def test_figure_selection(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["--profile", "smoke", "--only", "figure11", "--no-file"]) == 0
+        output = capsys.readouterr().out
+        assert "Figure 11" in output
+        assert "JKB2" in output
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["--only", "figure99", "--no-file"])
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["--profile", "gigantic"])

@@ -1,0 +1,73 @@
+"""Tests for the Search algorithm (Section 3.4)."""
+
+import pytest
+
+from repro.core.btc import BtcAlgorithm
+from repro.core.query import Query, SystemConfig
+from repro.core.search import SearchAlgorithm
+from repro.errors import ConfigurationError
+from repro.graphs.digraph import Digraph
+
+from conftest import oracle_closure
+
+
+class TestCorrectness:
+    def test_selection_matches_oracle(self, medium_dag):
+        sources = [2, 33, 99]
+        result = SearchAlgorithm().run(medium_dag, Query.ptc(sources))
+        oracle = oracle_closure(medium_dag)
+        for source in sources:
+            assert set(result.successors_of(source)) == oracle[source]
+
+    def test_full_query_is_rejected(self, small_dag):
+        with pytest.raises(ConfigurationError):
+            SearchAlgorithm().run(small_dag, Query.full())
+
+    def test_source_with_no_successors(self):
+        graph = Digraph.from_arcs(3, [(0, 1)])
+        result = SearchAlgorithm().run(graph, Query.ptc([2]))
+        assert result.successors_of(2) == []
+        assert result.metrics.list_unions == 0
+
+
+class TestCostCharacter:
+    def test_no_marking_ever(self, medium_dag):
+        result = SearchAlgorithm().run(medium_dag, Query.ptc([0, 1, 2]))
+        assert result.metrics.arcs_marked == 0
+        assert result.metrics.marking_percentage == 0.0
+
+    def test_selection_efficiency_is_optimal(self, medium_dag):
+        """SRCH only ever generates tuples for source lists: stc == tc
+        minus duplicates, so its selection efficiency is the optimum
+        the paper normalises against (Figure 9)."""
+        result = SearchAlgorithm().run(medium_dag, Query.ptc([0, 20]))
+        metrics = result.metrics
+        assert metrics.tuples_generated - metrics.duplicates == metrics.output_tuples
+
+    def test_sources_are_searched_independently(self, medium_dag):
+        """k sources are k single-source queries: unions scale with the
+        number of sources even when the sources overlap."""
+        one = SearchAlgorithm().run(medium_dag, Query.ptc([0])).metrics.list_unions
+        twice = SearchAlgorithm().run(medium_dag, Query.ptc([0, 1])).metrics.list_unions
+        assert twice >= one
+
+    def test_union_count_grows_rapidly_with_s(self, medium_dag):
+        """Figure 10's SRCH trend."""
+        counts = [
+            SearchAlgorithm().run(medium_dag, Query.ptc(range(s))).metrics.list_unions
+            for s in (1, 4, 16)
+        ]
+        assert counts[0] <= counts[1] <= counts[2]
+
+    def test_unions_equal_expanded_nodes_with_children(self):
+        graph = Digraph.from_arcs(4, [(0, 1), (1, 2), (1, 3)])
+        result = SearchAlgorithm().run(graph, Query.ptc([0]))
+        # Nodes 0 and 1 have children; 2 and 3 are sinks.
+        assert result.metrics.list_unions == 2
+
+    def test_beats_btc_for_single_source(self, medium_dag):
+        """The paper's Section 6.3 headline: SRCH wins at tiny s."""
+        system = SystemConfig(buffer_pages=10)
+        srch = SearchAlgorithm().run(medium_dag, Query.ptc([0]), system)
+        btc = BtcAlgorithm().run(medium_dag, Query.ptc([0]), system)
+        assert srch.metrics.total_io <= btc.metrics.total_io

@@ -1,0 +1,59 @@
+"""Tests for the Smart (squaring) baseline."""
+
+import math
+
+from repro.baselines.seminaive import SeminaiveAlgorithm
+from repro.baselines.smart import SmartAlgorithm
+from repro.core.query import Query, SystemConfig
+from repro.graphs.digraph import Digraph
+from repro.graphs.generator import generate_dag
+
+from conftest import oracle_closure
+
+
+class TestCorrectness:
+    def test_full_closure_matches_oracle(self, medium_dag):
+        result = SmartAlgorithm().run(medium_dag)
+        oracle = oracle_closure(medium_dag)
+        for node in medium_dag.nodes():
+            assert set(result.successors_of(node)) == oracle[node]
+
+    def test_selection_matches_oracle(self, small_dag):
+        sources = [0, 20, 40]
+        result = SmartAlgorithm().run(small_dag, Query.ptc(sources))
+        oracle = oracle_closure(small_dag)
+        for source in sources:
+            assert set(result.successors_of(source)) == oracle[source]
+
+    def test_empty_graph(self):
+        result = SmartAlgorithm().run(Digraph(3))
+        assert result.num_tuples == 0
+
+
+class TestSquaring:
+    def test_logarithmic_iterations(self):
+        """A path of length 64 closes in ~log2(64) squarings, not 64."""
+        n = 65
+        chain = Digraph.from_arcs(n, [(i, i + 1) for i in range(n - 1)])
+        smart = SmartAlgorithm()
+        smart.run(chain)
+        assert smart.iterations <= math.ceil(math.log2(n)) + 1
+
+        seminaive = SeminaiveAlgorithm()
+        seminaive.run(chain)
+        assert seminaive.iterations >= n - 2
+        assert smart.iterations < seminaive.iterations
+
+    def test_seminaive_outperforms_smart_on_io(self):
+        """Kabler et al. [19]: Seminaive always outperformed Smart."""
+        graph = generate_dag(500, 4, 100, seed=61)
+        system = SystemConfig(buffer_pages=10)
+        smart_io = SmartAlgorithm().run(graph, system=system).metrics.total_io
+        seminaive_io = SeminaiveAlgorithm().run(graph, system=system).metrics.total_io
+        assert seminaive_io < smart_io
+
+    def test_squaring_rederives_more_duplicates(self):
+        graph = generate_dag(400, 4, 80, seed=62)
+        smart = SmartAlgorithm().run(graph).metrics
+        seminaive = SeminaiveAlgorithm().run(graph).metrics
+        assert smart.duplicates >= seminaive.duplicates

@@ -1,0 +1,81 @@
+"""Tests for the Spanning Tree algorithm (Section 3.5)."""
+
+from repro.core.btc import BtcAlgorithm
+from repro.core.query import Query, SystemConfig
+from repro.core.spanning_tree import SpanningTreeAlgorithm
+from repro.graphs.digraph import Digraph
+from repro.graphs.generator import generate_dag
+
+from conftest import oracle_closure
+
+
+class TestCorrectness:
+    def test_full_closure_matches_oracle(self, medium_dag):
+        result = SpanningTreeAlgorithm().run(medium_dag)
+        oracle = oracle_closure(medium_dag)
+        for node in medium_dag.nodes():
+            assert set(result.successors_of(node)) == oracle[node]
+
+    def test_selection_matches_oracle(self, medium_dag):
+        sources = [1, 44, 101]
+        result = SpanningTreeAlgorithm().run(medium_dag, Query.ptc(sources))
+        oracle = oracle_closure(medium_dag)
+        for source in sources:
+            assert set(result.successors_of(source)) == oracle[source]
+
+    def test_diamond(self, diamond):
+        result = SpanningTreeAlgorithm().run(diamond)
+        assert result.successors_of(0) == [1, 2, 3]
+
+
+class TestTreeBehaviour:
+    def test_same_markings_as_btc(self, medium_dag):
+        """SPN uses the same processing order and marking test."""
+        spn = SpanningTreeAlgorithm().run(medium_dag)
+        btc = BtcAlgorithm().run(medium_dag)
+        assert spn.metrics.arcs_marked == btc.metrics.arcs_marked
+        assert spn.metrics.list_unions == btc.metrics.list_unions
+
+    def test_fewer_tuples_fetched_than_btc(self):
+        """Pruned subtrees reduce tuple reads (Section 3.5)."""
+        graph = generate_dag(300, 5, 60, seed=21)
+        spn = SpanningTreeAlgorithm().run(graph)
+        btc = BtcAlgorithm().run(graph)
+        assert spn.metrics.tuple_io <= btc.metrics.tuple_io
+
+    def test_far_fewer_duplicates_than_btc(self):
+        """Figure 7(b): the successor tree algorithms generate far
+        fewer duplicates than the flat-list algorithms."""
+        graph = generate_dag(300, 5, 60, seed=22)
+        spn = SpanningTreeAlgorithm().run(graph)
+        btc = BtcAlgorithm().run(graph)
+        assert spn.metrics.duplicates < btc.metrics.duplicates
+
+    def test_trees_occupy_more_storage_than_flat_lists(self):
+        """Parent markers make trees bigger on disk (Section 6.2): the
+        entries stored for a node are at least its successor count."""
+        graph = generate_dag(200, 4, 50, seed=23)
+        algorithm = SpanningTreeAlgorithm()
+        result = algorithm.run(graph)
+        # Physical entries >= logical successors for every node, with
+        # strict excess somewhere (some tree has an internal node).
+        total_entries = sum(
+            algorithm._trees[node].entry_count for node in graph.nodes()
+        )
+        assert total_entries > result.num_tuples
+
+    def test_reduced_tuple_io_does_not_imply_reduced_page_io(self):
+        """The paper's methodological point (Section 7): SPN fetches
+        fewer tuples than BTC yet does not win on page I/O."""
+        graph = generate_dag(400, 5, 80, seed=24)
+        system = SystemConfig(buffer_pages=10)
+        spn = SpanningTreeAlgorithm().run(graph, system=system)
+        btc = BtcAlgorithm().run(graph, system=system)
+        assert spn.metrics.tuple_io <= btc.metrics.tuple_io
+        assert spn.metrics.total_io >= btc.metrics.total_io
+
+    def test_empty_and_sink_children(self):
+        graph = Digraph.from_arcs(3, [(0, 1), (0, 2)])
+        result = SpanningTreeAlgorithm().run(graph)
+        assert result.successors_of(0) == [1, 2]
+        assert result.metrics.list_unions == 2

@@ -1,0 +1,82 @@
+"""Tests for DFS, topological sorting and reachability."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CyclicGraphError
+from repro.graphs.digraph import Digraph
+from repro.graphs.generator import generate_dag
+from repro.graphs.toposort import is_acyclic, reachable_from, topological_sort
+
+
+class TestTopologicalSort:
+    def test_respects_every_arc(self):
+        graph = generate_dag(100, 3, 25, seed=1)
+        order = topological_sort(graph)
+        position = {node: index for index, node in enumerate(order)}
+        for src, dst in graph.arcs():
+            assert position[src] < position[dst]
+
+    def test_includes_every_node_once(self):
+        graph = generate_dag(50, 2, 10, seed=2)
+        order = topological_sort(graph)
+        assert sorted(order) == list(range(50))
+
+    def test_cycle_raises(self):
+        graph = Digraph.from_arcs(3, [(0, 1), (1, 2), (2, 0)])
+        with pytest.raises(CyclicGraphError):
+            topological_sort(graph)
+
+    def test_self_loop_raises(self):
+        graph = Digraph.from_arcs(2, [(0, 0)])
+        with pytest.raises(CyclicGraphError):
+            topological_sort(graph)
+
+    def test_scoped_sort_ignores_outside_arcs(self):
+        # 0 -> 1 -> 2 -> 0 is a cycle, but scope {0, 1} has no cycle.
+        graph = Digraph.from_arcs(3, [(0, 1), (1, 2), (2, 0)])
+        order = topological_sort(graph, nodes=[0, 1])
+        assert order == [0, 1]
+
+    def test_deterministic(self):
+        graph = generate_dag(80, 3, 20, seed=3)
+        assert topological_sort(graph) == topological_sort(graph)
+
+    def test_deep_chain_does_not_overflow(self):
+        n = 5000
+        graph = Digraph.from_arcs(n, [(i, i + 1) for i in range(n - 1)])
+        order = topological_sort(graph)
+        assert order == list(range(n))
+
+
+class TestIsAcyclic:
+    def test_dag_is_acyclic(self):
+        assert is_acyclic(generate_dag(50, 3, 10, seed=4))
+
+    def test_cycle_is_detected(self):
+        assert not is_acyclic(Digraph.from_arcs(2, [(0, 1), (1, 0)]))
+
+
+class TestReachability:
+    def test_includes_sources(self):
+        graph = Digraph.from_arcs(3, [(0, 1)])
+        assert reachable_from(graph, [2]) == {2}
+
+    def test_follows_paths(self):
+        graph = Digraph.from_arcs(5, [(0, 1), (1, 2), (3, 4)])
+        assert reachable_from(graph, [0]) == {0, 1, 2}
+
+    def test_multi_source_union(self):
+        graph = Digraph.from_arcs(5, [(0, 1), (3, 4)])
+        assert reachable_from(graph, [0, 3]) == {0, 1, 3, 4}
+
+    @given(st.integers(min_value=1, max_value=40), st.integers(min_value=0, max_value=100))
+    @settings(max_examples=25, deadline=None)
+    def test_reachable_set_is_closed_under_successors(self, n, seed):
+        graph = generate_dag(n, 2, max(1, n // 3), seed=seed)
+        sources = [0, n - 1] if n > 1 else [0]
+        reached = reachable_from(graph, sources)
+        for node in reached:
+            for child in graph.successors(node):
+                assert child in reached
