@@ -10,7 +10,16 @@ Each benchmark prints the regenerated rows/series (visible with
 ``pytest -s`` or in the captured output) and asserts the *shape* the
 paper reports -- who wins, and roughly how the curves move -- not the
 absolute numbers.
+
+Telemetry: a process-wide :class:`~repro.obs.sink.MemorySink` collects
+one :class:`~repro.obs.record.RunRecord` per algorithm run made by the
+suite, and at session end the records are folded into one entry per
+benchmark cell and written to ``BENCH_summary.json`` at the repository
+root -- the perf trajectory later changes are diffed against (see
+``python -m repro compare`` and docs/OBSERVABILITY.md).
 """
+
+import json
 
 import pytest
 
@@ -29,3 +38,26 @@ def profile(request):
     from repro.experiments.config import get_profile
 
     return get_profile(request.config.getoption("--repro-profile"))
+
+
+def pytest_sessionstart(session):
+    from repro.obs.sink import MemorySink, set_global_sink
+
+    sink = MemorySink()
+    session.config._repro_bench_sink = sink
+    session.config._repro_prev_sink = set_global_sink(sink)
+
+
+def pytest_sessionfinish(session, exitstatus):
+    from repro.obs.bench import build_bench_summary
+    from repro.obs.sink import set_global_sink
+
+    sink = getattr(session.config, "_repro_bench_sink", None)
+    if sink is None:
+        return
+    set_global_sink(getattr(session.config, "_repro_prev_sink", None))
+    summary = build_bench_summary(sink.records)
+    if not summary:
+        return
+    path = session.config.rootpath / "BENCH_summary.json"
+    path.write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n")

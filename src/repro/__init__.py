@@ -54,9 +54,16 @@ from repro.graphs import (
     topological_sort,
 )
 from repro.metrics import MetricSet
+from repro.obs import (
+    JsonlSink,
+    RunRecord,
+    SpanRecorder,
+    compare_runs,
+    span,
+)
 from repro.storage import BufferPool, IoStats, PageId, PageKind, SuccessorListStore
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ALGORITHM_NAMES",
@@ -70,23 +77,28 @@ __all__ = [
     "GraphProfile",
     "InvalidNodeError",
     "IoStats",
+    "JsonlSink",
     "MetricSet",
     "PageId",
     "PageKind",
     "Query",
     "ReproError",
+    "RunRecord",
+    "SpanRecorder",
     "StorageError",
     "SuccessorListStore",
     "SystemConfig",
     "TwoPhaseAlgorithm",
     "UnknownAlgorithmError",
     "build_graph",
+    "compare_runs",
     "condensation",
     "generate_dag",
     "graph_family",
     "magic_subgraph",
     "make_algorithm",
     "profile_graph",
+    "span",
     "topological_sort",
     "__version__",
 ]

@@ -1,4 +1,4 @@
-"""Command line front end: run any algorithm on any workload.
+"""Command line front end: run, profile, and compare algorithm runs.
 
 Examples::
 
@@ -11,6 +11,16 @@ Examples::
 
     # Compare the whole suite on one query
     python -m repro --algorithm all --family G4 --scale 4 --sources 5
+
+    # Emit one RunRecord per algorithm as JSONL (clean pipeline output)
+    python -m repro --algorithm btc --family G4 --scale 4 \\
+        --emit-json out.jsonl --quiet
+
+    # Buffer-pool profile: hit-ratio timeline, kind histogram, hot pages
+    python -m repro profile --algorithm btc --family G4 --scale 4
+
+    # Regression gate between two JSONL record files
+    python -m repro compare baseline.jsonl out.jsonl --threshold 0.05
 """
 
 from __future__ import annotations
@@ -19,12 +29,18 @@ import argparse
 import sys
 
 from repro.baselines import BASELINE_NAMES, make_baseline
+from repro.core.base import TwoPhaseAlgorithm
 from repro.core.query import Query, SystemConfig
 from repro.core.registry import ALGORITHM_NAMES, make_algorithm
 from repro.graphs.datasets import build_graph, sample_sources
 from repro.graphs.digraph import Digraph
 from repro.graphs.generator import generate_dag
 from repro.metrics.report import format_table
+from repro.obs.compare import compare_runs
+from repro.obs.record import RunRecord, summarise_trace
+from repro.obs.sink import JsonlSink
+from repro.obs.spans import SpanRecorder
+from repro.storage.trace import PageTrace
 
 
 def _build_graph(args: argparse.Namespace) -> Digraph:
@@ -39,17 +55,19 @@ def _build_query(graph: Digraph, args: argparse.Namespace) -> Query:
     return Query.ptc(sample_sources(graph, args.sources, seed=args.seed))
 
 
-def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(
-        prog="repro",
-        description="Disk-based transitive closure algorithms "
-        "(Dar & Ramakrishnan, SIGMOD 1994).",
-    )
-    all_names = (*ALGORITHM_NAMES, *BASELINE_NAMES, "all")
-    parser.add_argument(
-        "--algorithm", "-a", default="btc", choices=all_names,
-        help="algorithm to run, or 'all' for the whole suite (default: btc)",
-    )
+def _workload_dict(args: argparse.Namespace) -> dict[str, object]:
+    """The workload tag stored in emitted run records (the cell identity)."""
+    if args.family:
+        return {"family": args.family, "scale": args.scale, "seed": args.seed}
+    return {
+        "nodes": args.nodes,
+        "out_degree": args.out_degree,
+        "locality": args.locality,
+        "seed": args.seed,
+    }
+
+
+def _add_workload_args(parser: argparse.ArgumentParser) -> None:
     workload = parser.add_argument_group("workload")
     workload.add_argument("--family", help="paper graph family G1..G12")
     workload.add_argument("--scale", type=int, default=1,
@@ -63,6 +81,9 @@ def main(argv: list[str] | None = None) -> int:
     workload.add_argument("--seed", type=int, default=0, help="random seed")
     workload.add_argument("--sources", type=int, default=None,
                           help="number of source nodes (omit for full closure)")
+
+
+def _add_system_args(parser: argparse.ArgumentParser) -> None:
     system = parser.add_argument_group("system")
     system.add_argument("--buffer-pages", "-M", type=int, default=20,
                         help="buffer pool size in pages (default 20)")
@@ -70,15 +91,50 @@ def main(argv: list[str] | None = None) -> int:
                         choices=["lru", "mru", "fifo", "clock", "random"])
     system.add_argument("--ilimit", type=float, default=0.2,
                         help="Hybrid diagonal-block ratio (default 0.2)")
-    args = parser.parse_args(argv)
 
-    graph = _build_graph(args)
-    query = _build_query(graph, args)
-    config = SystemConfig(
+
+def _system_config(args: argparse.Namespace) -> SystemConfig:
+    return SystemConfig(
         buffer_pages=args.buffer_pages,
         page_policy=args.page_policy,
         ilimit=args.ilimit,
     )
+
+
+# -- `run` (the default command) ---------------------------------------------
+
+
+def _run_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Disk-based transitive closure algorithms "
+        "(Dar & Ramakrishnan, SIGMOD 1994).",
+    )
+    all_names = (*ALGORITHM_NAMES, *BASELINE_NAMES, "all")
+    parser.add_argument(
+        "--algorithm", "-a", default="btc", choices=all_names,
+        help="algorithm to run, or 'all' for the whole suite (default: btc)",
+    )
+    _add_workload_args(parser)
+    _add_system_args(parser)
+    telemetry = parser.add_argument_group("telemetry")
+    telemetry.add_argument("--emit-json", metavar="PATH", default=None,
+                           help="append one RunRecord JSON line per run to PATH")
+    telemetry.add_argument("--trace-out", metavar="PATH", default=None,
+                           help="write the buffer-pool trace profile (JSON) to PATH")
+    telemetry.add_argument("--quiet", "-q", action="store_true",
+                           help="suppress the pre-run banner (keep the result table)")
+    return parser
+
+
+def _run_command(args: argparse.Namespace) -> int:
+    try:
+        graph = _build_graph(args)
+        query = _build_query(graph, args)
+        config = _system_config(args)
+    except Exception as exc:
+        print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 1
 
     if args.algorithm == "all":
         names = [n for n in ALGORITHM_NAMES if not (n == "srch" and query.is_full)]
@@ -86,30 +142,206 @@ def main(argv: list[str] | None = None) -> int:
     else:
         names = [args.algorithm]
 
-    print(f"graph: n={graph.num_nodes} arcs={graph.num_arcs}  query: {query}  "
-          f"M={config.buffer_pages}")
+    if not args.quiet:
+        print(f"graph: n={graph.num_nodes} arcs={graph.num_arcs}  query: {query}  "
+              f"M={config.buffer_pages}")
+
+    instrument = args.emit_json is not None or args.trace_out is not None
+    # enabled=True: an explicit --emit-json beats the REPRO_OBS env toggle.
+    sink = JsonlSink(args.emit_json, enabled=True) if args.emit_json is not None else None
+    workload = _workload_dict(args)
+    trace_profiles: dict[str, object] = {}
+
     rows = []
-    for name in names:
-        if name in BASELINE_NAMES:
-            algorithm = make_baseline(name)
-        else:
-            algorithm = make_algorithm(name)
-        result = algorithm.run(graph, query, config)
-        metrics = result.metrics
-        rows.append(
-            {
-                "algorithm": name,
-                "total_io": metrics.total_io,
-                "answer_tuples": result.num_tuples,
-                "unions": metrics.list_unions,
-                "tuples_generated": metrics.tuples_generated,
-                "marking_%": round(100 * metrics.marking_percentage, 1),
-                "hit_ratio": round(metrics.hit_ratio(), 3),
-                "cpu_s": round(metrics.cpu_seconds, 3),
-            }
-        )
+    try:
+        for name in names:
+            if name in BASELINE_NAMES:
+                algorithm = make_baseline(name)
+            else:
+                algorithm = make_algorithm(name)
+
+            recorder: SpanRecorder | None = None
+            trace: PageTrace | None = None
+            if instrument and isinstance(algorithm, TwoPhaseAlgorithm):
+                recorder = SpanRecorder()
+                trace = PageTrace() if args.trace_out is not None else None
+                result = algorithm.run(graph, query, config,
+                                       recorder=recorder, trace=trace)
+            else:
+                result = algorithm.run(graph, query, config)
+
+            if sink is not None:
+                sink.emit(RunRecord.from_result(
+                    result, workload=workload, recorder=recorder, trace=trace,
+                ))
+            if trace is not None:
+                trace_profiles[name] = summarise_trace(trace)
+
+            metrics = result.metrics
+            rows.append(
+                {
+                    "algorithm": name,
+                    "total_io": metrics.total_io,
+                    "answer_tuples": result.num_tuples,
+                    "unions": metrics.list_unions,
+                    "tuples_generated": metrics.tuples_generated,
+                    "marking_%": round(100 * metrics.marking_percentage, 1),
+                    "hit_ratio": round(metrics.hit_ratio(), 3),
+                    "cpu_s": round(metrics.cpu_seconds, 3),
+                }
+            )
+    except Exception as exc:  # the gate: broken runs must not exit 0
+        print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        if sink is not None:
+            sink.close()
+
+    if args.trace_out is not None:
+        import json
+
+        with open(args.trace_out, "w") as handle:
+            json.dump(trace_profiles, handle, indent=2, sort_keys=True)
+
     print(format_table(rows))
     return 0
+
+
+# -- `profile` ----------------------------------------------------------------
+
+
+def _profile_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro profile",
+        description="Run one algorithm with full buffer-pool tracing and "
+        "print its I/O profile: hit-ratio timeline, per-kind access "
+        "histogram, hottest pages, and span timings.",
+    )
+    parser.add_argument(
+        "--algorithm", "-a", default="btc", choices=ALGORITHM_NAMES,
+        help="algorithm to profile (default: btc)",
+    )
+    _add_workload_args(parser)
+    _add_system_args(parser)
+    parser.add_argument("--top", type=int, default=10,
+                        help="number of hot pages to show (default 10)")
+    parser.add_argument("--buckets", type=int, default=10,
+                        help="hit-ratio timeline buckets (default 10)")
+    return parser
+
+
+def _profile_command(args: argparse.Namespace) -> int:
+    recorder = SpanRecorder()
+    trace = PageTrace()
+    try:
+        graph = _build_graph(args)
+        query = _build_query(graph, args)
+        config = _system_config(args)
+        result = make_algorithm(args.algorithm).run(
+            graph, query, config, recorder=recorder, trace=trace
+        )
+    except Exception as exc:
+        print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 1
+
+    profile = summarise_trace(trace, buckets=args.buckets, top_k=args.top)
+    metrics = result.metrics
+    print(f"{args.algorithm}: n={graph.num_nodes} arcs={graph.num_arcs} "
+          f"query={query} M={config.buffer_pages}")
+    print(f"total_io={metrics.total_io} "
+          f"(reads={metrics.io.total_reads}, writes={metrics.io.total_writes})  "
+          f"hit_ratio={metrics.hit_ratio():.3f}")
+
+    timeline = profile["hit_ratio_timeline"]
+    if timeline:
+        print("\nhit-ratio timeline (run split into equal request chunks):")
+        print("  " + "  ".join(f"{ratio:.2f}" for ratio in timeline))
+
+    histogram = profile["kind_histogram"]
+    if histogram:
+        print("\n" + format_table(
+            [{"kind": kind, "requests": count}
+             for kind, count in sorted(histogram.items())],
+            title="page requests by kind",
+        ))
+
+    if profile["hot_pages"]:
+        print("\n" + format_table(profile["hot_pages"], title=f"top {args.top} hottest pages"))
+
+    span_rows = [
+        {
+            "span": stats.path,
+            "count": stats.count,
+            "total_ms": round(1000 * stats.total_seconds, 3),
+        }
+        for stats in recorder.stats()
+    ]
+    if span_rows:
+        print("\n" + format_table(span_rows, title="span timings"))
+    return 0
+
+
+# -- `compare` ----------------------------------------------------------------
+
+
+def _compare_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro compare",
+        description="Diff two JSONL run-record files cell by cell and "
+        "fail (exit 1) when total_io regresses beyond the threshold.",
+    )
+    parser.add_argument("baseline", help="baseline JSONL file of RunRecords")
+    parser.add_argument("candidate", help="candidate JSONL file of RunRecords")
+    parser.add_argument("--threshold", type=float, default=0.05,
+                        help="allowed relative total_io growth (default 0.05 = 5%%)")
+    parser.add_argument("--cpu-threshold", type=float, default=None,
+                        help="also gate on cpu_seconds growth (default: report only)")
+    parser.add_argument("--quiet", "-q", action="store_true",
+                        help="print regressions only")
+    return parser
+
+
+def _compare_command(args: argparse.Namespace) -> int:
+    try:
+        report = compare_runs(
+            args.baseline,
+            args.candidate,
+            threshold=args.threshold,
+            cpu_threshold=args.cpu_threshold,
+        )
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if not args.quiet:
+        print(report.render())
+    if report.ok:
+        if not args.quiet:
+            print("\nno regressions")
+        return 0
+    for delta in report.regressions:
+        print(f"REGRESSION {delta.cell} {delta.metric}: "
+              f"{delta.baseline:g} -> {delta.candidate:g}", file=sys.stderr)
+    return 1
+
+
+_SUBCOMMANDS = {
+    "run": (_run_parser, _run_command),
+    "profile": (_profile_parser, _profile_command),
+    "compare": (_compare_parser, _compare_command),
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # Backwards compatible dispatch: a leading bare word selects a
+    # subcommand; flags alone mean the classic `run` behaviour.
+    if argv and argv[0] in _SUBCOMMANDS:
+        make_parser, command = _SUBCOMMANDS[argv[0]]
+        argv = argv[1:]
+    else:
+        make_parser, command = _SUBCOMMANDS["run"]
+    return command(make_parser().parse_args(argv))
 
 
 if __name__ == "__main__":

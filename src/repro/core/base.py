@@ -28,8 +28,10 @@ from repro.core.query import Query, SystemConfig
 from repro.core.result import ClosureResult
 from repro.errors import CyclicGraphError, InvalidNodeError
 from repro.graphs.digraph import Digraph
+from repro.obs.spans import SpanRecorder, span
 from repro.storage.iostats import Phase
 from repro.storage.page import PageId
+from repro.storage.trace import PageTrace
 
 
 def topological_sort_map(adjacency: dict[int, list[int]]) -> list[int]:
@@ -86,8 +88,17 @@ class TwoPhaseAlgorithm(ABC):
         graph: Digraph,
         query: Query | None = None,
         system: SystemConfig | None = None,
+        recorder: SpanRecorder | None = None,
+        trace: PageTrace | None = None,
     ) -> ClosureResult:
-        """Execute the algorithm and return the answer plus cost profile."""
+        """Execute the algorithm and return the answer plus cost profile.
+
+        ``recorder`` (optional) collects nested wall-clock spans for the
+        run and its phases; ``trace`` (optional) records every buffer
+        event with full page identity.  Both are pure observers: they
+        never change any cost counter, and when omitted the run is
+        exactly the un-instrumented execution.
+        """
         query = Query.full() if query is None else query
         system = SystemConfig() if system is None else system
         if query.sources is not None:
@@ -98,20 +109,31 @@ class TwoPhaseAlgorithm(ABC):
                         f"0..{graph.num_nodes - 1}"
                     )
 
-        ctx = ExecutionContext(graph, query, system, needs_inverse=self.needs_inverse)
-        start = time.process_time()
+        ctx = ExecutionContext(
+            graph,
+            query,
+            system,
+            needs_inverse=self.needs_inverse,
+            recorder=recorder,
+            trace=trace,
+        )
+        with span("run", recorder):
+            start = time.process_time()
 
-        ctx.enter_phase(Phase.RESTRUCTURE)
-        self.restructure(ctx)
-        ctx.metrics.restructure_cpu_seconds = time.process_time() - start
+            with span("restructure", recorder):
+                ctx.enter_phase(Phase.RESTRUCTURE)
+                self.restructure(ctx)
+            ctx.metrics.restructure_cpu_seconds = time.process_time() - start
 
-        ctx.enter_phase(Phase.COMPUTE)
-        self.compute(ctx)
+            with span("compute", recorder):
+                ctx.enter_phase(Phase.COMPUTE)
+                self.compute(ctx)
 
-        ctx.enter_phase(Phase.WRITEOUT)
-        output_nodes = self.write_out(ctx)
+            with span("writeout", recorder):
+                ctx.enter_phase(Phase.WRITEOUT)
+                output_nodes = self.write_out(ctx)
 
-        ctx.metrics.cpu_seconds = time.process_time() - start
+            ctx.metrics.cpu_seconds = time.process_time() - start
         return self._build_result(ctx, output_nodes)
 
     # -- restructuring phase (shared) ------------------------------------------

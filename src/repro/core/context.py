@@ -13,10 +13,12 @@ from __future__ import annotations
 from repro.core.query import Query, SystemConfig
 from repro.graphs.digraph import Digraph
 from repro.metrics.counters import MetricSet
+from repro.obs.spans import SpanRecorder
 from repro.storage.buffer import BufferPool, make_policy
 from repro.storage.iostats import Phase
 from repro.storage.relation import ArcRelation, InverseArcRelation
 from repro.storage.successor_store import SuccessorListStore
+from repro.storage.trace import PageTrace, TracedPool
 
 
 class ExecutionContext:
@@ -28,16 +30,31 @@ class ExecutionContext:
         query: Query,
         system: SystemConfig,
         needs_inverse: bool = False,
+        recorder: SpanRecorder | None = None,
+        trace: PageTrace | None = None,
     ) -> None:
         self.graph = graph
         self.query = query
         self.system = system
         self.metrics = MetricSet()
-        self.pool = BufferPool(
-            system.buffer_pages,
-            stats=self.metrics.io,
-            policy=make_policy(system.page_policy, seed=system.policy_seed),
-        )
+        self.recorder = recorder
+        self.trace = trace
+        policy = make_policy(system.page_policy, seed=system.policy_seed)
+        if trace is not None:
+            self.pool: BufferPool = TracedPool(
+                system.buffer_pages,
+                trace,
+                stats=self.metrics.io,
+                policy=policy,
+                recorder=recorder,
+            )
+        else:
+            self.pool = BufferPool(
+                system.buffer_pages,
+                stats=self.metrics.io,
+                policy=policy,
+                recorder=recorder,
+            )
         self.relation = ArcRelation(graph)
         self.inverse_relation: InverseArcRelation | None = (
             InverseArcRelation(graph) if needs_inverse else None

@@ -4,12 +4,21 @@ The paper reports, for every data point, the average over five random
 graphs per family and five source-node sets per selection query
 (Section 5.2).  :func:`average_runs` reproduces that protocol at a
 configurable number of repetitions.
+
+Telemetry: besides returning averages, the runner emits one
+:class:`~repro.obs.record.RunRecord` *per run* (not per cell) whenever
+a sink is attached -- either passed explicitly or installed process-
+wide with :func:`repro.obs.sink.set_global_sink`.  With no sink
+attached (the default), no record is built and runs are exactly as
+cheap as before.
 """
 
 from __future__ import annotations
 
+import time
 from collections.abc import Iterable
 from dataclasses import dataclass
+from typing import Any
 
 from repro.core.query import SystemConfig
 from repro.core.registry import make_algorithm
@@ -18,7 +27,11 @@ from repro.experiments.config import ScaleProfile
 from repro.experiments.queries import QuerySpec
 from repro.graphs.datasets import GraphFamily, graph_family
 from repro.graphs.digraph import Digraph
+from repro.obs.record import RunRecord
+from repro.obs.sink import RunSink, get_global_sink
+from repro.obs.spans import SpanRecorder
 from repro.storage.iostats import Phase
+from repro.storage.trace import PageTrace
 
 
 def run_single(
@@ -27,10 +40,40 @@ def run_single(
     query_spec: QuerySpec,
     system: SystemConfig | None = None,
     sample_index: int = 0,
+    workload: dict[str, Any] | None = None,
+    sink: RunSink | None = None,
+    recorder: SpanRecorder | None = None,
+    trace: PageTrace | None = None,
 ) -> ClosureResult:
-    """Run one algorithm once on one graph with one drawn query."""
+    """Run one algorithm once on one graph with one drawn query.
+
+    When ``sink`` is given -- or a process-wide sink is installed via
+    :func:`repro.obs.sink.set_global_sink` -- a :class:`RunRecord`
+    describing the run (tagged with ``workload``) is emitted to it.
+    """
     query = query_spec.materialise(graph, sample_index)
-    return make_algorithm(algorithm).run(graph, query, system or SystemConfig())
+    start = time.perf_counter()
+    result = make_algorithm(algorithm).run(
+        graph, query, system or SystemConfig(), recorder=recorder, trace=trace
+    )
+    wall_seconds = time.perf_counter() - start
+
+    global_sink = get_global_sink()
+    if sink is not None or global_sink is not None:
+        if workload is None:
+            workload = {"nodes": graph.num_nodes, "arcs": graph.num_arcs}
+        record = RunRecord.from_result(
+            result,
+            workload=workload,
+            recorder=recorder,
+            trace=trace,
+            wall_seconds=wall_seconds,
+        )
+        if sink is not None:
+            sink.emit(record)
+        if global_sink is not None and global_sink is not sink:
+            global_sink.emit(record)
+    return result
 
 
 @dataclass(frozen=True)
@@ -93,21 +136,39 @@ def average_runs(
     query_spec: QuerySpec,
     profile: ScaleProfile,
     system: SystemConfig | None = None,
+    sink: RunSink | None = None,
 ) -> AveragedMetrics:
     """Run one experimental cell with the profile's repetition protocol.
 
     One run per (graph seed, source-sample) combination: the paper's
-    5-graphs x 5-source-sets protocol at the profile's counts.
+    5-graphs x 5-source-sets protocol at the profile's counts.  Each
+    individual run emits a :class:`RunRecord` to ``sink`` (and to the
+    process-wide sink, if installed); all records of one cell share the
+    same workload tag, so ``repro compare`` averages them back into the
+    cell before diffing.
     """
     if isinstance(family, str):
         family = graph_family(family)
     system = system or SystemConfig()
+    workload = {
+        "family": family.name,
+        "profile": profile.name,
+        "nodes": profile.num_nodes,
+    }
     results = []
     for graph_seed in range(profile.graphs_per_family):
         graph = profile.build(family, seed=graph_seed)
         samples = 1 if query_spec.selectivity is None else profile.source_samples
         for sample_index in range(samples):
             results.append(
-                run_single(algorithm, graph, query_spec, system, sample_index)
+                run_single(
+                    algorithm,
+                    graph,
+                    query_spec,
+                    system,
+                    sample_index,
+                    workload=workload,
+                    sink=sink,
+                )
             )
     return AveragedMetrics.from_results(algorithm, results)

@@ -18,8 +18,10 @@ def format_table(
     """Render ``rows`` (dictionaries) as an aligned text table.
 
     ``columns`` fixes the column order; by default the keys of the
-    first row are used.  Floats are shown with up to four significant
-    decimals; everything else via ``str``.
+    first row are used.  Near-integral and large floats are shown as
+    digit-grouped integers (``123456.0`` renders as ``123,456``, never
+    ``1.235e+05``, so tables stay diffable); small fractional floats
+    keep four significant digits; everything else renders via ``str``.
     """
     if not rows:
         return f"{title}\n(no rows)" if title else "(no rows)"
@@ -28,6 +30,10 @@ def format_table(
 
     def cell(value: object) -> str:
         if isinstance(value, float):
+            if value != value or value in (float("inf"), float("-inf")):
+                return str(value)
+            if abs(value - round(value)) < 1e-9 or abs(value) >= 1000:
+                return f"{round(value):,}"
             return f"{value:.4g}"
         return str(value)
 

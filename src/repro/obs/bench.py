@@ -1,0 +1,53 @@
+"""Aggregation of per-run records into the benchmark perf trajectory.
+
+The benchmark suite installs a :class:`~repro.obs.sink.MemorySink` as
+the process-wide sink, so every :func:`~repro.experiments.runner
+.run_single` call made by the regenerated tables and figures emits one
+:class:`~repro.obs.record.RunRecord`.  At session end those records are
+folded into one entry per *benchmark cell* (algorithm x workload x
+query shape) and written as ``BENCH_summary.json`` -- the durable
+perf-trajectory file later PRs diff against.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.obs.record import RunRecord
+
+
+def _query_label(query: dict[str, Any]) -> str:
+    if query.get("kind") == "full":
+        return "full"
+    return f"s={query.get('selectivity')}"
+
+
+def build_bench_summary(records: list[RunRecord]) -> list[dict[str, Any]]:
+    """One summary entry per cell, averaging that cell's runs.
+
+    Each entry carries the cell identity (algorithm, family/workload,
+    query shape) plus mean ``total_io``, mean ``cpu_seconds`` and mean
+    wall-clock seconds over the cell's runs.
+    """
+    cells: dict[tuple[str, str, str, str], list[RunRecord]] = {}
+    for record in records:
+        cells.setdefault(record.cell_key(), []).append(record)
+
+    summary = []
+    for key in sorted(cells):
+        runs = cells[key]
+        first = runs[0]
+        entry: dict[str, Any] = {
+            "algorithm": first.algorithm,
+            "family": first.workload.get("family"),
+            "workload": first.workload,
+            "query": _query_label(first.query),
+            "buffer_pages": first.system.get("buffer_pages"),
+            "system": first.system,
+            "runs": len(runs),
+            "total_io": sum(r.total_io for r in runs) / len(runs),
+            "cpu_seconds": round(sum(r.cpu_seconds for r in runs) / len(runs), 6),
+            "wall_seconds": round(sum(r.wall_seconds for r in runs) / len(runs), 6),
+        }
+        summary.append(entry)
+    return summary

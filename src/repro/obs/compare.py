@@ -1,0 +1,182 @@
+"""Baseline-vs-candidate comparison of JSONL run records.
+
+Loads two JSONL files of :class:`~repro.obs.record.RunRecord`\\ s,
+groups each side into experimental *cells* (algorithm x workload x
+query shape), averages repetitions within a cell, and reports the
+per-cell delta of the paper's primary measure (``total_io``) and of
+``cpu_seconds``.  A relative threshold turns the report into a
+regression gate: ``python -m repro compare baseline.jsonl out.jsonl``
+exits non-zero iff any cell's ``total_io`` grew by more than the
+threshold (CPU gating is off by default because process CPU time is
+noisy across machines; pass a ``cpu_threshold`` to enable it).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Union
+
+from repro.metrics.report import format_table
+from repro.obs.record import RunRecord
+
+RecordSource = Union[str, Path, list[RunRecord]]
+
+
+def load_records(source: RecordSource) -> list[RunRecord]:
+    """Read run records from a JSONL file (or pass a list through)."""
+    if isinstance(source, list):
+        return source
+    path = Path(source)
+    records = []
+    with path.open() as handle:
+        for number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(RunRecord.from_json(line))
+            except (json.JSONDecodeError, TypeError) as exc:
+                raise ValueError(f"{path}:{number}: not a RunRecord line: {exc}") from exc
+    return records
+
+
+@dataclass(frozen=True)
+class CellDelta:
+    """The change of one metric in one experimental cell."""
+
+    cell: str
+    metric: str
+    baseline: float
+    candidate: float
+    regressed: bool
+
+    @property
+    def delta(self) -> float:
+        """Absolute change, candidate minus baseline."""
+        return self.candidate - self.baseline
+
+    @property
+    def ratio(self) -> float | None:
+        """Relative change ``delta / baseline`` (None when baseline is 0)."""
+        if self.baseline == 0:
+            return None
+        return self.delta / self.baseline
+
+
+@dataclass
+class ComparisonReport:
+    """All per-cell deltas plus the cells only one side has."""
+
+    deltas: list[CellDelta] = field(default_factory=list)
+    missing_in_candidate: list[str] = field(default_factory=list)
+    new_in_candidate: list[str] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> list[CellDelta]:
+        """The deltas that breached their threshold."""
+        return [d for d in self.deltas if d.regressed]
+
+    @property
+    def ok(self) -> bool:
+        """True when no cell regressed (the gate passes)."""
+        return not self.regressions
+
+    def render(self) -> str:
+        """Aligned text table of every delta, regressions marked."""
+        if not self.deltas:
+            return "(no overlapping cells to compare)"
+        rows = []
+        for d in self.deltas:
+            ratio = d.ratio
+            rows.append(
+                {
+                    "cell": d.cell,
+                    "metric": d.metric,
+                    "baseline": d.baseline,
+                    "candidate": d.candidate,
+                    "delta": d.delta,
+                    "delta_%": "n/a" if ratio is None else f"{100 * ratio:+.1f}%",
+                    "verdict": "REGRESSED" if d.regressed else "ok",
+                }
+            )
+        parts = [format_table(rows, title="repro compare")]
+        if self.missing_in_candidate:
+            parts.append(
+                "cells missing in candidate: " + ", ".join(self.missing_in_candidate)
+            )
+        if self.new_in_candidate:
+            parts.append("cells new in candidate: " + ", ".join(self.new_in_candidate))
+        return "\n".join(parts)
+
+
+def _cell_label(key: tuple[str, str, str, str]) -> str:
+    """A compact human-readable name for one cell key."""
+    algorithm, workload_json, query_json, system_json = key
+    workload = json.loads(workload_json)
+    query = json.loads(query_json)
+    system = json.loads(system_json)
+    workload_bits = [
+        f"{name}={workload[name]}"
+        for name in ("family", "scale", "nodes", "seed")
+        if name in workload
+    ]
+    if "buffer_pages" in system:
+        workload_bits.append(f"M={system['buffer_pages']}")
+    query_bit = "full" if query.get("kind") == "full" else f"s={query.get('selectivity')}"
+    return f"{algorithm}[{','.join(workload_bits) or 'custom'}|{query_bit}]"
+
+
+def _cells(records: list[RunRecord]) -> dict[tuple[str, str, str, str], list[RunRecord]]:
+    cells: dict[tuple[str, str, str, str], list[RunRecord]] = {}
+    for record in records:
+        cells.setdefault(record.cell_key(), []).append(record)
+    return cells
+
+
+def _mean(values: list[float]) -> float:
+    return sum(values) / len(values) if values else 0.0
+
+
+def compare_runs(
+    baseline: RecordSource,
+    candidate: RecordSource,
+    threshold: float = 0.05,
+    cpu_threshold: float | None = None,
+) -> ComparisonReport:
+    """Diff two sets of run records cell by cell.
+
+    ``threshold`` is the relative growth of mean ``total_io`` a cell may
+    show before it counts as a regression (0.05 = 5%); a baseline of 0
+    regresses on any growth at all.  ``cpu_threshold`` does the same for
+    mean ``cpu_seconds`` and is off (report-only) by default.
+    """
+    base_cells = _cells(load_records(baseline))
+    cand_cells = _cells(load_records(candidate))
+
+    report = ComparisonReport()
+    report.missing_in_candidate = [
+        _cell_label(key) for key in base_cells if key not in cand_cells
+    ]
+    report.new_in_candidate = [
+        _cell_label(key) for key in cand_cells if key not in base_cells
+    ]
+
+    gates = {"total_io": threshold, "cpu_seconds": cpu_threshold}
+    for key, base_records in base_cells.items():
+        cand_records = cand_cells.get(key)
+        if cand_records is None:
+            continue
+        label = _cell_label(key)
+        for metric, gate in gates.items():
+            base = _mean([getattr(r, metric) for r in base_records])
+            cand = _mean([getattr(r, metric) for r in cand_records])
+            if gate is None:
+                regressed = False
+            elif base == 0:
+                regressed = cand > 0
+            else:
+                regressed = (cand - base) / base > gate
+            report.deltas.append(CellDelta(label, metric, base, cand, regressed))
+    return report

@@ -1,0 +1,246 @@
+"""Durable, machine-readable records of one algorithm run.
+
+A :class:`RunRecord` captures everything the paper's methodology says a
+credible performance claim needs: the workload parameters, the
+:class:`~repro.core.query.SystemConfig`, the complete
+:class:`~repro.metrics.counters.MetricSet` including the per-phase and
+per-page-kind I/O breakdowns of :class:`~repro.storage.iostats.IoStats`,
+the span timings of an attached
+:class:`~repro.obs.spans.SpanRecorder`, and (optionally) a summary of a
+:class:`~repro.storage.trace.PageTrace`: the buffer-pool hit-ratio
+timeline, the per-:class:`~repro.storage.page.PageKind` access
+histogram, and the hottest pages.
+
+Records serialise to plain JSON dictionaries (one per line in a JSONL
+file, see :mod:`repro.obs.sink`) and load back for regression
+comparison (see :mod:`repro.obs.compare`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.obs.spans import SpanRecorder
+from repro.storage.iostats import IoStats, Phase
+from repro.storage.page import PageKind
+from repro.storage.trace import PageTrace, TraceEvent
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.result import ClosureResult
+
+SCHEMA_VERSION = 1
+"""Bump when the serialised RunRecord layout changes incompatibly."""
+
+
+def io_stats_dict(io: IoStats) -> dict[str, Any]:
+    """Serialise :class:`IoStats` with both of its breakdowns.
+
+    The reads/writes counters key physical I/Os two ways at once --
+    by :class:`Phase` and by :class:`PageKind` -- so the phase and kind
+    breakdowns are split apart here.
+    """
+
+    def by_phase(counter: Counter) -> dict[str, int]:
+        return {phase.value: counter[phase] for phase in Phase}
+
+    def by_kind(counter: Counter) -> dict[str, int]:
+        return {
+            kind.value: counter[kind] for kind in PageKind if counter[kind]
+        }
+
+    return {
+        "reads_by_phase": by_phase(io.reads),
+        "writes_by_phase": by_phase(io.writes),
+        "requests_by_phase": by_phase(io.requests),
+        "hits_by_phase": by_phase(io.hits),
+        "reads_by_kind": by_kind(io.reads),
+        "writes_by_kind": by_kind(io.writes),
+        "total_reads": io.total_reads,
+        "total_writes": io.total_writes,
+        "total_io": io.total_io,
+        "hit_ratio": io.hit_ratio(),
+        "compute_hit_ratio": io.hit_ratio(Phase.COMPUTE),
+    }
+
+
+def system_config_dict(system: Any) -> dict[str, Any]:
+    """Serialise a :class:`SystemConfig` to JSON-safe values."""
+    out: dict[str, Any] = {}
+    for f in dataclasses.fields(system):
+        value = getattr(system, f.name)
+        if isinstance(value, (int, float, str, bool)) or value is None:
+            out[f.name] = value
+        else:  # enums (ListPlacementPolicy) and anything else exotic
+            out[f.name] = getattr(value, "value", str(value))
+    return out
+
+
+def query_dict(query: Any) -> dict[str, Any]:
+    """Serialise a :class:`Query` (kind plus selectivity, not sources)."""
+    return {
+        "kind": "full" if query.is_full else "ptc",
+        "selectivity": query.selectivity,
+    }
+
+
+def summarise_trace(
+    trace: PageTrace, buckets: int = 20, top_k: int = 10
+) -> dict[str, Any]:
+    """Condense a :class:`PageTrace` into a JSON-sized profile.
+
+    Returns the hit-ratio timeline (the request stream split into at
+    most ``buckets`` equal chunks), the per-kind request histogram, and
+    the ``top_k`` most-requested pages (only available when the trace
+    was recorded by a :class:`~repro.storage.trace.TracedPool`, which
+    captures full page identities).
+    """
+    requests = [
+        record
+        for record in trace.records
+        if record.event in (TraceEvent.REQUEST_HIT, TraceEvent.REQUEST_MISS)
+    ]
+
+    timeline: list[float] = []
+    if requests:
+        buckets = max(1, min(buckets, len(requests)))
+        per_bucket = len(requests) / buckets
+        for index in range(buckets):
+            chunk = requests[round(index * per_bucket) : round((index + 1) * per_bucket)]
+            if not chunk:
+                continue
+            hits = sum(1 for r in chunk if r.event is TraceEvent.REQUEST_HIT)
+            timeline.append(round(hits / len(chunk), 4))
+
+    histogram: Counter[str] = Counter(r.kind.value for r in requests)
+
+    pages: Counter[str] = Counter(
+        f"{r.kind.value}:{r.page_number}"
+        for r in requests
+        if r.page_number is not None
+    )
+    hot_pages = [
+        {"page": page, "requests": count}
+        for page, count in pages.most_common(top_k)
+    ]
+
+    return {
+        "events": len(trace),
+        "requests": len(requests),
+        "hit_ratio_timeline": timeline,
+        "kind_histogram": dict(histogram),
+        "hot_pages": hot_pages,
+    }
+
+
+def metric_set_dict(metrics: Any) -> dict[str, Any]:
+    """Serialise a :class:`MetricSet`: headline summary plus full I/O."""
+    out = dict(metrics.summary())
+    out["restructure_cpu_seconds"] = round(metrics.restructure_cpu_seconds, 6)
+    out["reblocking_events"] = metrics.reblocking_events
+    out["io"] = io_stats_dict(metrics.io)
+    return out
+
+
+@dataclass
+class RunRecord:
+    """One algorithm run, fully described and JSON-serialisable."""
+
+    algorithm: str
+    workload: dict[str, Any] = field(default_factory=dict)
+    query: dict[str, Any] = field(default_factory=dict)
+    system: dict[str, Any] = field(default_factory=dict)
+    metrics: dict[str, Any] = field(default_factory=dict)
+    spans: dict[str, Any] = field(default_factory=dict)
+    trace: dict[str, Any] | None = None
+    wall_seconds: float = 0.0
+    schema_version: int = SCHEMA_VERSION
+
+    @classmethod
+    def from_result(
+        cls,
+        result: "ClosureResult",
+        workload: dict[str, Any] | None = None,
+        recorder: SpanRecorder | None = None,
+        trace: PageTrace | None = None,
+        wall_seconds: float | None = None,
+    ) -> "RunRecord":
+        """Build a record from a finished :class:`ClosureResult`.
+
+        ``workload`` identifies the input graph (family, scale, seed,
+        node/arc counts ...); it is what :mod:`repro.obs.compare` keys
+        cells on, together with the algorithm and the query shape.
+        """
+        if wall_seconds is None and recorder is not None:
+            wall_seconds = recorder.total_seconds("run")
+        metrics = metric_set_dict(result.metrics)
+        metrics["magic"] = {
+            "nodes": result.magic_nodes,
+            "arcs": result.magic_arcs,
+            "height": round(result.magic_height, 4),
+            "width": round(result.magic_width, 4),
+            "max_level": result.magic_max_level,
+        }
+        metrics["answer_tuples"] = result.num_tuples
+        return cls(
+            algorithm=result.algorithm,
+            workload=dict(workload or {}),
+            query=query_dict(result.query),
+            system=system_config_dict(result.system),
+            metrics=metrics,
+            spans=recorder.as_dict() if recorder is not None else {},
+            trace=summarise_trace(trace) if trace is not None else None,
+            wall_seconds=round(wall_seconds or 0.0, 6),
+        )
+
+    # -- convenience accessors used by the comparison gate ------------------
+
+    @property
+    def total_io(self) -> float:
+        """Total page I/O of the run (the paper's primary measure)."""
+        return float(self.metrics.get("total_io", 0))
+
+    @property
+    def cpu_seconds(self) -> float:
+        """Measured process CPU time of the run."""
+        return float(self.metrics.get("cpu_seconds", 0.0))
+
+    def cell_key(self) -> tuple[str, str, str, str]:
+        """Identity of the experimental cell this run belongs to.
+
+        Two runs of the same algorithm on the same workload, query
+        shape and system configuration are repetitions of one cell;
+        :func:`repro.obs.compare.compare_runs` averages within cells
+        before diffing.  The system config is part of the identity so
+        that sweeps (buffer sizes, ILIMIT values) stay separate cells.
+        """
+        return (
+            self.algorithm,
+            json.dumps(self.workload, sort_keys=True),
+            json.dumps(self.query, sort_keys=True),
+            json.dumps(self.system, sort_keys=True),
+        )
+
+    # -- (de)serialisation ---------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dictionary form, ready for ``json.dumps``."""
+        return dataclasses.asdict(self)
+
+    def to_json(self) -> str:
+        """One compact JSON line (no embedded newlines)."""
+        return json.dumps(self.to_dict(), separators=(",", ":"), sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "RunRecord":
+        """Rebuild a record from its dictionary form."""
+        known = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{key: value for key, value in data.items() if key in known})
+
+    @classmethod
+    def from_json(cls, line: str) -> "RunRecord":
+        """Rebuild a record from one JSONL line."""
+        return cls.from_dict(json.loads(line))

@@ -1,0 +1,132 @@
+"""Run-record sinks: where :class:`~repro.obs.record.RunRecord`\\ s go.
+
+The default everywhere is *no sink*: the runner and the algorithms take
+``sink=None`` and skip record construction entirely, so observability
+costs nothing unless asked for.  Three sinks are provided:
+
+* :class:`JsonlSink` -- appends one JSON line per record to a file;
+* :class:`MemorySink` -- collects records in a list (tests, the
+  benchmark session summary);
+* :class:`NullSink` -- explicit no-op, for code that wants to pass a
+  sink object unconditionally.
+
+:class:`JsonlSink` honours the ``REPRO_OBS`` environment variable:
+setting it to ``0``/``false``/``off``/``no`` disables emission even
+when a sink is constructed, so a pipeline can be silenced without
+touching code.  The constructor's ``enabled`` argument overrides the
+environment either way.
+
+A process-wide *global sink* can also be installed with
+:func:`set_global_sink`; :func:`repro.experiments.runner.run_single`
+emits to it in addition to any explicitly passed sink.  The benchmark
+suite uses this to collect one record per run without threading a sink
+through every table/figure function.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import IO, Union
+
+from repro.obs.record import RunRecord
+
+ENV_TOGGLE = "REPRO_OBS"
+"""Environment variable that force-disables sinks when falsy."""
+
+_FALSY = {"0", "false", "off", "no"}
+
+
+def obs_enabled(default: bool = True) -> bool:
+    """Whether the environment allows record emission."""
+    value = os.environ.get(ENV_TOGGLE)
+    if value is None:
+        return default
+    return value.strip().lower() not in _FALSY
+
+
+class RunSink:
+    """Interface: something that accepts finished run records."""
+
+    def emit(self, record: RunRecord) -> None:
+        """Accept one record."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any resources; emitting afterwards is an error."""
+
+    def __enter__(self) -> "RunSink":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        self.close()
+        return False
+
+
+class NullSink(RunSink):
+    """A sink that discards everything."""
+
+    def emit(self, record: RunRecord) -> None:
+        pass
+
+
+class MemorySink(RunSink):
+    """Collects records in memory, in emission order."""
+
+    def __init__(self) -> None:
+        self.records: list[RunRecord] = []
+
+    def emit(self, record: RunRecord) -> None:
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+class JsonlSink(RunSink):
+    """Appends records to a JSONL file, one compact JSON object per line.
+
+    The file is opened lazily on the first emit (append mode, so a
+    baseline file can be accumulated over several invocations) and
+    flushed after every record so partial results survive a crash.
+    """
+
+    def __init__(self, path: str | Path, enabled: bool | None = None) -> None:
+        self.path = Path(path)
+        self.enabled = obs_enabled() if enabled is None else enabled
+        self._handle: IO[str] | None = None
+
+    def emit(self, record: RunRecord) -> None:
+        if not self.enabled:
+            return
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = self.path.open("a")
+        self._handle.write(record.to_json() + "\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+# -- process-wide sink -------------------------------------------------------
+
+_global_sink: RunSink | None = None
+
+
+def set_global_sink(sink: RunSink | None) -> RunSink | None:
+    """Install (or clear, with ``None``) the process-wide sink.
+
+    Returns the previously installed sink so callers can restore it.
+    """
+    global _global_sink
+    previous = _global_sink
+    _global_sink = sink
+    return previous
+
+
+def get_global_sink() -> RunSink | None:
+    """The currently installed process-wide sink, if any."""
+    return _global_sink

@@ -32,8 +32,9 @@ from repro.errors import (
     ConfigurationError,
     PageNotPinnedError,
 )
+from repro.obs.spans import SpanRecorder, span
 from repro.storage.iostats import IoStats
-from repro.storage.page import PageId
+from repro.storage.page import PageId, PageKind
 
 
 class ReplacementPolicy(ABC):
@@ -235,6 +236,11 @@ class BufferPool:
     policy:
         Replacement policy name (see :func:`make_policy`) or an already
         constructed :class:`ReplacementPolicy`.
+    recorder:
+        Optional :class:`~repro.obs.spans.SpanRecorder`; when attached,
+        the physical read and write paths are timed under ``pool.read``
+        and ``pool.write`` spans.  Costs one ``None`` check when absent
+        and never changes any counter.
     """
 
     def __init__(
@@ -242,12 +248,14 @@ class BufferPool:
         capacity: int,
         stats: IoStats | None = None,
         policy: str | ReplacementPolicy = "lru",
+        recorder: SpanRecorder | None = None,
     ) -> None:
         if capacity <= 0:
             raise ConfigurationError(f"buffer pool capacity must be positive, got {capacity}")
         self.capacity = capacity
         self.stats = stats if stats is not None else IoStats()
         self._policy = policy if isinstance(policy, ReplacementPolicy) else make_policy(policy)
+        self._recorder = recorder
         self._frames: dict[PageId, _Frame] = {}
         self._pinned: set[PageId] = set()
 
@@ -286,11 +294,12 @@ class BufferPool:
             return True
 
         self.stats.record_request(page.kind, hit=False)
-        if len(self._frames) >= self.capacity:
-            self._evict_one()
-        self.stats.record_read(page.kind)
-        self._frames[page] = _Frame(page, dirty=dirty)
-        self._policy.note_admit(page)
+        with span("pool.read", self._recorder):
+            if len(self._frames) >= self.capacity:
+                self._evict_one()
+            self.stats.record_read(page.kind)
+            self._frames[page] = _Frame(page, dirty=dirty)
+            self._policy.note_admit(page)
         return False
 
     def create(self, page: PageId) -> None:
@@ -353,7 +362,7 @@ class BufferPool:
         """Write every dirty resident page, leaving all pages resident."""
         for frame in self._frames.values():
             if frame.dirty:
-                self.stats.record_write(frame.page.kind)
+                self._record_write(frame.page.kind)
                 frame.dirty = False
 
     def flush_selected(self, pages: set[PageId]) -> None:
@@ -366,10 +375,14 @@ class BufferPool:
         """
         for frame in self._frames.values():
             if frame.dirty and frame.page in pages:
-                self.stats.record_write(frame.page.kind)
+                self._record_write(frame.page.kind)
             frame.dirty = False
 
     # -- internals ---------------------------------------------------------
+
+    def _record_write(self, kind: PageKind) -> None:
+        with span("pool.write", self._recorder):
+            self.stats.record_write(kind)
 
     def _evict_one(self) -> None:
         victim = self._policy.choose_victim(self._pinned)
@@ -381,7 +394,7 @@ class BufferPool:
 
     def _drop(self, frame: _Frame) -> None:
         if frame.dirty:
-            self.stats.record_write(frame.page.kind)
+            self._record_write(frame.page.kind)
         del self._frames[frame.page]
         self._pinned.discard(frame.page)
         self._policy.note_evict(frame.page)

@@ -22,6 +22,7 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, field
 
+from repro.obs.spans import SpanRecorder
 from repro.storage.buffer import BufferPool, ReplacementPolicy
 from repro.storage.iostats import IoStats
 from repro.storage.page import PageId, PageKind
@@ -135,8 +136,9 @@ class TracedPool(BufferPool):
         trace: PageTrace,
         stats: IoStats | None = None,
         policy: str | ReplacementPolicy = "lru",
+        recorder: SpanRecorder | None = None,
     ) -> None:
-        super().__init__(capacity, stats=stats, policy=policy)
+        super().__init__(capacity, stats=stats, policy=policy, recorder=recorder)
         self.trace = trace
 
     def access(self, page: PageId, dirty: bool = False) -> bool:

@@ -1,8 +1,11 @@
 """Tests for the command line front end."""
 
+import json
+
 import pytest
 
 from repro.cli import main
+from repro.obs.compare import load_records
 
 
 class TestCli:
@@ -43,3 +46,113 @@ class TestCli:
     def test_buffer_and_policy_flags(self, capsys):
         assert main(["--nodes", "80", "-M", "5", "--page-policy", "clock"]) == 0
         assert "M=5" in capsys.readouterr().out
+
+    def test_quiet_suppresses_banner_keeps_table(self, capsys):
+        assert main(["--nodes", "80", "--quiet"]) == 0
+        output = capsys.readouterr().out
+        assert "graph:" not in output
+        assert "total_io" in output
+
+    def test_bad_workload_exits_nonzero_without_traceback(self, capsys):
+        assert main(["--family", "G99"]) == 1
+        captured = capsys.readouterr()
+        assert "error:" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_algorithm_failure_exits_nonzero(self, capsys, monkeypatch):
+        import repro.cli as cli
+
+        def boom(name):
+            raise RuntimeError("simulated failure")
+
+        monkeypatch.setattr(cli, "make_algorithm", boom)
+        assert main(["--nodes", "60"]) == 1
+        assert "simulated failure" in capsys.readouterr().err
+
+
+class TestEmitJson:
+    def test_emit_json_writes_run_records(self, tmp_path, capsys):
+        out = tmp_path / "out.jsonl"
+        assert main(["--algorithm", "btc", "--family", "G4", "--scale", "4",
+                     "--emit-json", str(out), "--quiet"]) == 0
+        (record,) = load_records(out)
+        assert record.algorithm == "btc"
+        assert record.workload == {"family": "G4", "scale": 4, "seed": 0}
+        assert record.system["buffer_pages"] == 20
+        # Per-phase I/O, span durations and config are all present.
+        phases = record.metrics["io"]["reads_by_phase"]
+        assert set(phases) == {"restructure", "compute", "writeout"}
+        assert record.spans["run"]["count"] == 1
+        assert record.spans["run"]["total_seconds"] > 0
+
+    def test_emit_json_all_algorithms(self, tmp_path, capsys):
+        out = tmp_path / "all.jsonl"
+        assert main(["--algorithm", "all", "--family", "G2", "--scale", "8",
+                     "--sources", "2", "--emit-json", str(out), "--quiet"]) == 0
+        records = load_records(out)
+        assert len(records) >= 10  # the suite plus the baselines
+        assert len({r.algorithm for r in records}) == len(records)
+
+    def test_emit_json_overrides_env_toggle(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_OBS", "0")
+        out = tmp_path / "out.jsonl"
+        assert main(["--algorithm", "btc", "--nodes", "80",
+                     "--emit-json", str(out), "--quiet"]) == 0
+        assert len(load_records(out)) == 1  # explicit flag beats the env var
+
+    def test_trace_out_writes_profiles(self, tmp_path, capsys):
+        path = tmp_path / "trace.json"
+        assert main(["--algorithm", "btc", "--nodes", "80",
+                     "--trace-out", str(path), "--quiet"]) == 0
+        profiles = json.loads(path.read_text())
+        assert set(profiles) == {"btc"}
+        assert profiles["btc"]["requests"] > 0
+        assert profiles["btc"]["hot_pages"]
+
+
+class TestProfileCommand:
+    def test_profile_prints_buffer_profile(self, capsys):
+        assert main(["profile", "--algorithm", "btc", "--nodes", "100",
+                     "--sources", "3"]) == 0
+        output = capsys.readouterr().out
+        assert "hit-ratio timeline" in output
+        assert "page requests by kind" in output
+        assert "hottest pages" in output
+        assert "span timings" in output
+
+
+class TestCompareCommand:
+    def _emit(self, tmp_path, name, scale="8"):
+        path = tmp_path / name
+        assert main(["--algorithm", "btc", "--family", "G2", "--scale", scale,
+                     "--emit-json", str(path), "--quiet"]) == 0
+        return path
+
+    def test_identical_files_pass(self, tmp_path, capsys):
+        baseline = self._emit(tmp_path, "base.jsonl")
+        candidate = self._emit(tmp_path, "cand.jsonl")
+        assert main(["compare", str(baseline), str(candidate)]) == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_io_regression_fails_the_gate(self, tmp_path, capsys):
+        candidate = self._emit(tmp_path, "cand.jsonl")
+        record = json.loads(candidate.read_text())
+        record["metrics"]["total_io"] = int(record["metrics"]["total_io"] * 0.8)
+        baseline = tmp_path / "base.jsonl"
+        baseline.write_text(json.dumps(record) + "\n")
+        assert main(["compare", str(baseline), str(candidate)]) == 1
+        assert "REGRESSION" in capsys.readouterr().err
+
+    def test_threshold_is_configurable(self, tmp_path, capsys):
+        candidate = self._emit(tmp_path, "cand.jsonl")
+        record = json.loads(candidate.read_text())
+        record["metrics"]["total_io"] = int(record["metrics"]["total_io"] * 0.9)
+        baseline = tmp_path / "base.jsonl"
+        baseline.write_text(json.dumps(record) + "\n")
+        assert main(["compare", str(baseline), str(candidate),
+                     "--threshold", "0.5"]) == 0
+
+    def test_missing_file_exits_two(self, tmp_path, capsys):
+        assert main(["compare", str(tmp_path / "a.jsonl"),
+                     str(tmp_path / "b.jsonl")]) == 2
+        assert "error:" in capsys.readouterr().err

@@ -9,6 +9,7 @@ from repro.experiments.queries import QuerySpec
 from repro.experiments.runner import average_runs, run_single
 from repro.experiments.tables import table2, table3, table4
 from repro.graphs.datasets import build_graph
+from repro.obs.sink import MemorySink, get_global_sink, set_global_sink
 
 
 class TestProfiles:
@@ -65,6 +66,54 @@ class TestRunner:
         smoke = get_profile("smoke")
         averaged = average_runs("btc", "G2", QuerySpec.full(), smoke)
         assert averaged.runs == smoke.graphs_per_family
+
+
+class TestRunRecordEmission:
+    """The repetition protocol emits exactly one record per run."""
+
+    def test_ptc_cell_emits_graphs_times_samples(self):
+        default = get_profile("default")
+        sink = MemorySink()
+        average_runs("btc", "G2", QuerySpec.selection(3), default, sink=sink)
+        assert len(sink.records) == default.graphs_per_family * default.source_samples
+        assert {r.algorithm for r in sink.records} == {"btc"}
+        # All repetitions of one cell share one workload/query identity.
+        assert len({r.cell_key() for r in sink.records}) == 1
+
+    def test_full_closure_cell_emits_one_per_graph(self):
+        default = get_profile("default")
+        sink = MemorySink()
+        average_runs("btc", "G2", QuerySpec.full(), default, sink=sink)
+        assert len(sink.records) == default.graphs_per_family * 1
+
+    def test_global_sink_receives_runs_too(self):
+        smoke = get_profile("smoke")
+        sink = MemorySink()
+        previous = set_global_sink(sink)
+        try:
+            average_runs("btc", "G2", QuerySpec.selection(3), smoke)
+        finally:
+            set_global_sink(previous)
+        assert len(sink.records) == smoke.graphs_per_family * smoke.source_samples
+
+    def test_no_sink_means_no_records(self):
+        smoke = get_profile("smoke")
+        assert get_global_sink() is None
+        averaged = average_runs("btc", "G2", QuerySpec.selection(3), smoke)
+        assert averaged.runs == 1  # runs fine with zero telemetry attached
+
+    def test_averaged_metrics_match_hand_computed_means(self):
+        default = get_profile("default")
+        sink = MemorySink()
+        averaged = average_runs("btc", "G2", QuerySpec.selection(3), default, sink=sink)
+        ios = [r.total_io for r in sink.records]
+        assert averaged.total_io == pytest.approx(sum(ios) / len(ios))
+        generated = [r.metrics["tuples_generated"] for r in sink.records]
+        assert averaged.tuples_generated == pytest.approx(sum(generated) / len(generated))
+        hit_ratios = [r.metrics["io"]["compute_hit_ratio"] for r in sink.records]
+        assert averaged.hit_ratio == pytest.approx(
+            sum(hit_ratios) / len(hit_ratios), abs=1e-4
+        )
 
 
 class TestTables:

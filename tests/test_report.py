@@ -33,6 +33,22 @@ class TestFormatTable:
         text = format_table([{"x": 0.333333333}])
         assert "0.3333" in text
 
+    def test_large_integral_floats_stay_exact(self):
+        """Averaged I/O counts must not collapse to scientific notation."""
+        text = format_table([{"io": 123456.0}])
+        assert "123,456" in text
+        assert "e+" not in text
+
+    def test_large_fractional_floats_round_to_grouped_integers(self):
+        text = format_table([{"io": 123456.7}])
+        assert "123,457" in text
+
+    def test_small_integral_floats_render_as_integers(self):
+        assert "42" in format_table([{"x": 42.0}])
+
+    def test_small_fractions_keep_four_significant_digits(self):
+        assert "0.9985" in format_table([{"x": 0.99854}])
+
 
 class TestFormatSeries:
     def test_series_layout(self):
