@@ -31,6 +31,13 @@ def pytest_addoption(parser):
         choices=["smoke", "default", "paper"],
         help="scale profile for the reproduction benchmarks",
     )
+    parser.addoption(
+        "--repro-jobs",
+        type=int,
+        default=1,
+        help="worker processes for the experiment grids (default: 1 = serial; "
+        "run records still merge into the session sink in canonical order)",
+    )
 
 
 @pytest.fixture(scope="session")
@@ -41,16 +48,32 @@ def profile(request):
 
 
 def pytest_sessionstart(session):
+    from repro.experiments.parallel import ExperimentEngine, set_engine
     from repro.obs.sink import MemorySink, set_global_sink
 
     sink = MemorySink()
     session.config._repro_bench_sink = sink
     session.config._repro_prev_sink = set_global_sink(sink)
 
+    jobs = session.config.getoption("--repro-jobs")
+    if jobs > 1:
+        # One engine (and one worker pool with its per-worker graph
+        # caches) for the whole benchmark session; workers return their
+        # records to this process, which feeds the MemorySink above.
+        engine = ExperimentEngine(jobs=jobs)
+        session.config._repro_engine = engine
+        session.config._repro_prev_engine = set_engine(engine)
+
 
 def pytest_sessionfinish(session, exitstatus):
+    from repro.experiments.parallel import set_engine
     from repro.obs.bench import build_bench_summary
     from repro.obs.sink import set_global_sink
+
+    engine = getattr(session.config, "_repro_engine", None)
+    if engine is not None:
+        set_engine(getattr(session.config, "_repro_prev_engine", None))
+        engine.close()
 
     sink = getattr(session.config, "_repro_bench_sink", None)
     if sink is None:

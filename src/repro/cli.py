@@ -124,10 +124,75 @@ def _run_parser() -> argparse.ArgumentParser:
                            help="write the buffer-pool trace profile (JSON) to PATH")
     telemetry.add_argument("--quiet", "-q", action="store_true",
                            help="suppress the pre-run banner (keep the result table)")
+    execution = parser.add_argument_group("execution")
+    execution.add_argument("--jobs", "-j", type=int, default=1, metavar="N",
+                           help="run the algorithms across N worker processes "
+                           "(default: 1 = in-process; ignored with --trace-out)")
+    execution.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                           help="per-algorithm wall-clock limit when --jobs > 1 "
+                           "(one retry, then a structured error and exit 1)")
     return parser
 
 
+def _run_parallel(args: argparse.Namespace, names: list[str],
+                  config: SystemConfig) -> int:
+    """Fan the algorithm list across worker processes (``--jobs N``).
+
+    Each algorithm becomes one work unit on the same (deterministically
+    seeded) graph and query, so the result table is identical to the
+    serial run's -- only wall-clock attribution differs.
+    """
+    from repro.experiments.parallel import ExperimentEngine, GraphSpec, WorkUnit
+    from repro.experiments.queries import QuerySpec
+
+    if args.family:
+        spec = GraphSpec(seed=args.seed, family=args.family, scale=args.scale)
+    else:
+        spec = GraphSpec.custom(args.nodes, args.out_degree, args.locality, args.seed)
+    query_spec = (QuerySpec.full() if args.sources is None
+                  else QuerySpec.selection(args.sources))
+    workload = tuple(_workload_dict(args).items())
+    units = [
+        WorkUnit(cell_index=index, algorithm=name, graph=spec, query=query_spec,
+                 system=config, source_seed=args.seed, workload=workload)
+        for index, name in enumerate(names)
+    ]
+    with ExperimentEngine(jobs=args.jobs, timeout=args.timeout) as engine:
+        outcomes = engine.map_units(units)
+
+    sink = JsonlSink(args.emit_json, enabled=True) if args.emit_json is not None else None
+    rows = []
+    for name, outcome in zip(names, outcomes):
+        if outcome.error is not None:
+            print(f"error: {outcome.error.render()}", file=sys.stderr)
+            continue
+        if sink is not None:
+            sink.emit(outcome.record)
+        metrics = outcome.result.metrics
+        rows.append(
+            {
+                "algorithm": name,
+                "total_io": metrics.total_io,
+                "answer_tuples": outcome.result.num_tuples,
+                "unions": metrics.list_unions,
+                "tuples_generated": metrics.tuples_generated,
+                "marking_%": round(100 * metrics.marking_percentage, 1),
+                "hit_ratio": round(metrics.hit_ratio(), 3),
+                "cpu_s": round(metrics.cpu_seconds, 3),
+            }
+        )
+    if sink is not None:
+        sink.close()
+    if rows:
+        print(format_table(rows))
+    return 1 if engine.failures else 0
+
+
 def _run_command(args: argparse.Namespace) -> int:
+    parallel = args.jobs > 1 and args.trace_out is None
+    if args.jobs > 1 and args.trace_out is not None:
+        print("note: --trace-out needs in-process tracing; running serially",
+              file=sys.stderr)
     try:
         graph = _build_graph(args)
         query = _build_query(graph, args)
@@ -144,7 +209,11 @@ def _run_command(args: argparse.Namespace) -> int:
 
     if not args.quiet:
         print(f"graph: n={graph.num_nodes} arcs={graph.num_arcs}  query: {query}  "
-              f"M={config.buffer_pages}")
+              f"M={config.buffer_pages}"
+              + (f"  jobs={args.jobs}" if parallel else ""))
+
+    if parallel:
+        return _run_parallel(args, names, config)
 
     instrument = args.emit_json is not None or args.trace_out is not None
     # enabled=True: an explicit --emit-json beats the REPRO_OBS env toggle.

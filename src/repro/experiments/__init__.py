@@ -18,14 +18,28 @@ Run everything from the command line::
 """
 
 from repro.experiments.config import PROFILES, ScaleProfile, get_profile
+from repro.experiments.parallel import (
+    Cell,
+    ExperimentEngine,
+    GraphSpec,
+    WorkUnit,
+    run_cells,
+    use_engine,
+)
 from repro.experiments.queries import QuerySpec
 from repro.experiments.runner import average_runs, run_single
 
 __all__ = [
     "PROFILES",
+    "Cell",
+    "ExperimentEngine",
+    "GraphSpec",
     "QuerySpec",
     "ScaleProfile",
+    "WorkUnit",
     "average_runs",
     "get_profile",
+    "run_cells",
     "run_single",
+    "use_engine",
 ]

@@ -4,6 +4,14 @@ Each ``figureN`` function returns a :class:`FigureData` (or a dict of
 panel name to :class:`FigureData`): the x axis, one series per curve,
 and a title matching the paper's caption.  ``render()`` prints the
 series as an aligned text table -- the same rows the paper plots.
+
+Every figure declares its grid as a flat list of
+:class:`~repro.experiments.parallel.Cell` descriptions and hands it to
+:func:`~repro.experiments.parallel.run_cells`, so the whole grid fans
+out across worker processes when a parallel engine is active (see
+``run_all --jobs``) and runs through the unchanged serial
+``average_runs`` path otherwise.  A cell that permanently failed in a
+worker contributes ``nan`` to its series, visibly marking the hole.
 """
 
 from __future__ import annotations
@@ -12,8 +20,9 @@ from dataclasses import dataclass, field
 
 from repro.core.query import SystemConfig
 from repro.experiments.config import ScaleProfile, get_profile
+from repro.experiments.parallel import Cell, run_cells
 from repro.experiments.queries import QuerySpec
-from repro.experiments.runner import AveragedMetrics, average_runs
+from repro.experiments.runner import AveragedMetrics
 from repro.graphs.datasets import graph_family
 from repro.metrics.report import format_series
 
@@ -76,20 +85,19 @@ def figure6(
     curves: dict[str, list[float]] = {"BTC": []}
     for ilimit in ilimits:
         curves[f"HYB-{ilimit:g}"] = []
+    cells = []
     for buffer_pages in buffer_sizes:
-        btc = average_runs(
-            "btc", family, spec, profile, SystemConfig(buffer_pages=buffer_pages)
-        )
-        curves["BTC"].append(btc.total_io)
+        cells.append(Cell("btc", family, spec, SystemConfig(buffer_pages=buffer_pages)))
         for ilimit in ilimits:
-            hyb = average_runs(
-                "hyb",
-                family,
-                spec,
-                profile,
-                SystemConfig(buffer_pages=buffer_pages, ilimit=ilimit),
+            cells.append(
+                Cell("hyb", family, spec,
+                     SystemConfig(buffer_pages=buffer_pages, ilimit=ilimit))
             )
-            curves[f"HYB-{ilimit:g}"].append(hyb.total_io)
+    results = iter(run_cells(cells, profile))
+    for _buffer_pages in buffer_sizes:
+        curves["BTC"].append(next(results).total_io)
+        for ilimit in ilimits:
+            curves[f"HYB-{ilimit:g}"].append(next(results).total_io)
     data.series = curves
     return data
 
@@ -115,14 +123,17 @@ def figure7(
         profile = get_profile(profile)
     spec = QuerySpec.full()
     system = SystemConfig(buffer_pages=buffer_pages)
-    degrees = []
-    cells: dict[str, list[AveragedMetrics]] = {
-        name: [] for name in ("btc", "spn", "jkb", "jkb2")
-    }
-    for family_name in families:
-        degrees.append(graph_family(family_name).avg_out_degree)
-        for name in cells:
-            cells[name].append(average_runs(name, family_name, spec, profile, system))
+    names = ("btc", "spn", "jkb", "jkb2")
+    degrees = [graph_family(family_name).avg_out_degree for family_name in families]
+    results = iter(run_cells(
+        [Cell(name, family_name, spec, system)
+         for family_name in families for name in names],
+        profile,
+    ))
+    cells: dict[str, list[AveragedMetrics]] = {name: [] for name in names}
+    for _family_name in families:
+        for name in names:
+            cells[name].append(next(results))
 
     panel_a = FigureData(
         title="Figure 7(a). Successor tree algorithms vs BTC, full closure: total I/O",
@@ -162,11 +173,15 @@ def _high_selectivity_cells(
 ) -> tuple[list[int], dict[str, list[AveragedMetrics]]]:
     system = SystemConfig(buffer_pages=buffer_pages)
     xs = [profile.scaled_selectivity(s) for s in selectivities]
+    results = iter(run_cells(
+        [Cell(name, family, QuerySpec.selection(profile.scaled_selectivity(s)), system)
+         for s in selectivities for name in _HIGH_SEL_ALGOS],
+        profile,
+    ))
     cells: dict[str, list[AveragedMetrics]] = {name: [] for name in _HIGH_SEL_ALGOS}
-    for s in selectivities:
-        spec = QuerySpec.selection(profile.scaled_selectivity(s))
+    for _s in selectivities:
         for name in cells:
-            cells[name].append(average_runs(name, family, spec, profile, system))
+            cells[name].append(next(results))
     return xs, cells
 
 
@@ -287,11 +302,15 @@ def figure13(
     spec = QuerySpec.selection(profile.scaled_selectivity(selectivity))
     panels: dict[str, FigureData] = {}
     for io_panel, hit_panel, family in zip("ab", "cd", families):
+        results = iter(run_cells(
+            [Cell(name, family, spec, SystemConfig(buffer_pages=buffer_pages))
+             for buffer_pages in buffer_sizes for name in algorithms],
+            profile,
+        ))
         cells: dict[str, list[AveragedMetrics]] = {name: [] for name in algorithms}
-        for buffer_pages in buffer_sizes:
-            system = SystemConfig(buffer_pages=buffer_pages)
+        for _buffer_pages in buffer_sizes:
             for name in algorithms:
-                cells[name].append(average_runs(name, family, spec, profile, system))
+                cells[name].append(next(results))
         panels[io_panel] = FigureData(
             title=f"Figure 13({io_panel}). Total I/O vs buffer size ({family})",
             x_label="M",
@@ -325,11 +344,16 @@ def figure14(
     algorithms = ("btc", "bj", "jkb2")
     system = SystemConfig(buffer_pages=buffer_pages)
     xs = [profile.scaled_selectivity(s) for s in selectivities]
+    results = iter(run_cells(
+        [Cell(name, family,
+              QuerySpec.selection(profile.scaled_selectivity(s)), system)
+         for s in selectivities for name in algorithms],
+        profile,
+    ))
     cells: dict[str, list[AveragedMetrics]] = {name: [] for name in algorithms}
-    for s in selectivities:
-        spec = QuerySpec.selection(profile.scaled_selectivity(s))
+    for _s in selectivities:
         for name in algorithms:
-            cells[name].append(average_runs(name, family, spec, profile, system))
+            cells[name].append(next(results))
 
     def panel(letter: str, metric: str, label: str) -> FigureData:
         return FigureData(

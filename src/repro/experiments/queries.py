@@ -30,9 +30,21 @@ class QuerySpec:
         """A partial-closure query shape with ``s`` source nodes."""
         return cls(selectivity=s)
 
-    def materialise(self, graph: Digraph, sample_index: int = 0) -> Query:
-        """Draw a concrete query for ``graph``."""
+    def materialise(
+        self, graph: Digraph, sample_index: int = 0, seed: int | None = None
+    ) -> Query:
+        """Draw a concrete query for ``graph``.
+
+        The source sample is a pure function of ``(selectivity,
+        sample_index)`` -- seed ``1000 + sample_index`` -- so any
+        process that materialises the same spec draws the same sources
+        (the parallel engine's seeding contract).  ``seed`` overrides
+        the derived seed for callers that manage seeds themselves (the
+        CLI's ``--seed``).
+        """
         if self.selectivity is None:
             return Query.full()
-        sources = sample_sources(graph, self.selectivity, seed=1000 + sample_index)
+        if seed is None:
+            seed = 1000 + sample_index
+        sources = sample_sources(graph, self.selectivity, seed=seed)
         return Query.ptc(sources)

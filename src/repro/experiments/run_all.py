@@ -4,9 +4,18 @@ Usage::
 
     python -m repro.experiments.run_all --profile default
     python -m repro.experiments.run_all --profile paper --only table4 figure8
+    python -m repro.experiments.run_all --profile default --jobs 4
 
 Output goes to stdout and (unless ``--no-file``) to
-``experiments_output_<profile>.txt`` in the current directory.
+``experiments_output_<profile>.txt`` in the current directory.  The
+file contains only the table/figure text -- no timings -- so runs are
+byte-comparable regardless of ``--jobs`` (the parallel engine
+guarantees bit-identical averages; see
+:mod:`repro.experiments.parallel`).
+
+``--jobs N`` fans the experiment grid across N worker processes;
+``--timeout S`` bounds each individual run (one retry, then the cell is
+marked failed with ``nan`` values and the exit status is non-zero).
 """
 
 from __future__ import annotations
@@ -17,6 +26,7 @@ import time
 
 from repro.experiments.config import PROFILES, get_profile
 from repro.experiments.figures import ALL_FIGURES, FigureData
+from repro.experiments.parallel import ExperimentEngine, use_engine
 from repro.experiments.tables import table2, table3, table4
 from repro.metrics.report import format_table
 
@@ -53,7 +63,17 @@ def main(argv: list[str] | None = None) -> int:
         "--no-file", action="store_true",
         help="print to stdout only, do not write the output file",
     )
+    parser.add_argument(
+        "--jobs", "-j", type=int, default=1, metavar="N",
+        help="worker processes for the experiment grid (default: 1 = serial)",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-run wall-clock limit (one retry; default: none)",
+    )
     args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
     profile = get_profile(args.profile)
 
     experiments: dict[str, object] = {}
@@ -67,22 +87,32 @@ def main(argv: list[str] | None = None) -> int:
     sections = [f"# Reproduction run, profile={profile.name} "
                 f"(n={profile.num_nodes}, {profile.graphs_per_family} graphs/family, "
                 f"{profile.source_samples} source samples)"]
-    for name in selected:
-        start = time.perf_counter()
-        runner = experiments[name]
-        if name in _TABLES:
-            text = runner(profile)
-        else:
-            text = _render_figure(runner(profile))
-        elapsed = time.perf_counter() - start
-        sections.append(f"## {name}  ({elapsed:.1f}s)\n{text}")
-        print(sections[-1], flush=True)
+    print(sections[0], flush=True)
+    engine = ExperimentEngine(jobs=args.jobs, timeout=args.timeout)
+    with engine, use_engine(engine):
+        for name in selected:
+            start = time.perf_counter()
+            runner = experiments[name]
+            if name in _TABLES:
+                text = runner(profile)
+            else:
+                text = _render_figure(runner(profile))
+            elapsed = time.perf_counter() - start
+            sections.append(f"## {name}\n{text}")
+            print(f"## {name}  ({elapsed:.1f}s)\n{text}", flush=True)
 
     if not args.no_file:
         path = f"experiments_output_{profile.name}.txt"
         with open(path, "w") as handle:
             handle.write("\n\n".join(sections) + "\n")
         print(f"\n[written to {path}]")
+
+    if engine.failures:
+        print(f"\n{len(engine.failures)} work unit(s) failed; "
+              "affected cells are rendered as nan:", file=sys.stderr)
+        for failure in engine.failures:
+            print(f"  - {failure.render()}", file=sys.stderr)
+        return 1
     return 0
 
 

@@ -11,6 +11,15 @@ a sink is attached -- either passed explicitly or installed process-
 wide with :func:`repro.obs.sink.set_global_sink`.  With no sink
 attached (the default), no record is built and runs are exactly as
 cheap as before.
+
+This module is the *serial* execution substrate.  The process-pool
+engine in :mod:`repro.experiments.parallel` fans cells out across
+workers but reproduces this module's behaviour exactly: its work units
+call :func:`run_single` with the same seeds, its aggregation calls
+:meth:`AveragedMetrics.from_results` on results in the same order, and
+at ``jobs=1`` it delegates to :func:`average_runs` unchanged.  Any
+change to the repetition protocol here must be mirrored in
+``parallel._cell_units``.
 """
 
 from __future__ import annotations

@@ -11,8 +11,8 @@ import time
 from repro.core.query import SystemConfig
 from repro.core.registry import make_algorithm
 from repro.experiments.config import ScaleProfile, get_profile
+from repro.experiments.parallel import Cell, run_cells
 from repro.experiments.queries import QuerySpec
-from repro.experiments.runner import average_runs
 from repro.graphs.analysis import profile_graph
 from repro.graphs.datasets import GRAPH_FAMILIES
 from repro.metrics.report import format_table
@@ -98,6 +98,13 @@ def table4(
     if isinstance(profile, str):
         profile = get_profile(profile)
     system = SystemConfig(buffer_pages=10)
+    results = iter(run_cells(
+        [Cell(name, family.name,
+              QuerySpec.selection(profile.scaled_selectivity(s)), system)
+         for family in GRAPH_FAMILIES for s in selectivities
+         for name in ("btc", "jkb2")],
+        profile,
+    ))
     rows = []
     for family in GRAPH_FAMILIES:
         graph = profile.build(family, seed=0)
@@ -108,9 +115,8 @@ def table4(
             "H": round(stats.height),
         }
         for s in selectivities:
-            spec = QuerySpec.selection(profile.scaled_selectivity(s))
-            btc = average_runs("btc", family, spec, profile, system)
-            jkb2 = average_runs("jkb2", family, spec, profile, system)
+            btc = next(results)
+            jkb2 = next(results)
             ratio = jkb2.total_io / btc.total_io if btc.total_io else 0.0
             row[f"jkb2/btc@s={s}"] = round(ratio, 2)
         rows.append(row)

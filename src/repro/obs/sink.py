@@ -26,6 +26,7 @@ through every table/figure function.
 from __future__ import annotations
 
 import os
+from collections.abc import Iterable
 from pathlib import Path
 from typing import IO, Union
 
@@ -51,6 +52,17 @@ class RunSink:
     def emit(self, record: RunRecord) -> None:
         """Accept one record."""
         raise NotImplementedError
+
+    def emit_many(self, records: Iterable[RunRecord]) -> None:
+        """Accept several records, preserving their order.
+
+        Multi-process runs merge through this path: worker processes
+        hand their records back to the parent, which replays them here
+        in the canonical (serial) order -- sinks therefore never need
+        cross-process locking.
+        """
+        for record in records:
+            self.emit(record)
 
     def close(self) -> None:
         """Release any resources; emitting afterwards is an error."""
@@ -95,11 +107,18 @@ class JsonlSink(RunSink):
         self.path = Path(path)
         self.enabled = obs_enabled() if enabled is None else enabled
         self._handle: IO[str] | None = None
+        self._pid = os.getpid()
 
     def emit(self, record: RunRecord) -> None:
         if not self.enabled:
             return
+        if self._handle is not None and os.getpid() != self._pid:
+            # Fork guard: a child that inherited an open handle must not
+            # share the parent's file position.  Reopen in this process
+            # (append mode keeps concurrent whole-line writes intact).
+            self._handle = None
         if self._handle is None:
+            self._pid = os.getpid()
             self.path.parent.mkdir(parents=True, exist_ok=True)
             self._handle = self.path.open("a")
         self._handle.write(record.to_json() + "\n")
@@ -130,3 +149,15 @@ def set_global_sink(sink: RunSink | None) -> RunSink | None:
 def get_global_sink() -> RunSink | None:
     """The currently installed process-wide sink, if any."""
     return _global_sink
+
+
+def reset_worker_sinks() -> None:
+    """Detach inherited sinks inside a forked worker process.
+
+    The parallel experiment engine merges run records in the *parent*
+    (in canonical order); a forked worker that kept the inherited
+    global sink would emit every record a second time -- into a
+    :class:`MemorySink` nobody reads, or worse, into the parent's JSONL
+    file out of order.  Worker initialisers call this first.
+    """
+    set_global_sink(None)

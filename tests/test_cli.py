@@ -59,6 +59,32 @@ class TestCli:
         assert "error:" in captured.err
         assert "Traceback" not in captured.err
 
+    def test_jobs_table_matches_serial(self, capsys):
+        """--jobs fans out across processes; the result table (only
+        cpu_s, a measured field, excepted) matches the serial run."""
+
+        def table(argv):
+            assert main(argv) == 0
+            rows = [line for line in capsys.readouterr().out.splitlines()
+                    if line and "graph:" not in line]
+            # Drop the trailing cpu_s column: measured, not simulated.
+            return [line.rsplit(None, 1)[0] for line in rows]
+
+        base = ["--family", "G2", "--scale", "8", "--algorithm", "all",
+                "--sources", "3", "-M", "10", "--quiet"]
+        assert table(base) == table(base + ["--jobs", "3"])
+
+    def test_jobs_with_emit_json_writes_records(self, tmp_path, capsys):
+        path = tmp_path / "records.jsonl"
+        assert main(["--family", "G2", "--scale", "8", "--algorithm", "btc",
+                     "--sources", "3", "--jobs", "2", "--emit-json", str(path),
+                     "--quiet"]) == 0
+        capsys.readouterr()
+        records = load_records(path)
+        assert len(records) == 1
+        assert records[0].algorithm == "btc"
+        assert records[0].workload["family"] == "G2"
+
     def test_algorithm_failure_exits_nonzero(self, capsys, monkeypatch):
         import repro.cli as cli
 

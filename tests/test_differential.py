@@ -1,0 +1,97 @@
+"""Differential correctness battery: every implementation, one answer.
+
+Over a seeded grid of random DAG families, every framework algorithm
+(BTC, HYB, BJ, SRCH, SPN, JKB, JKB2) and every in-memory baseline
+(warshall, warren, seminaive, smart, schmitz) must produce exactly the
+same closure tuple set, for both complete (CTC) and partial (PTC)
+transitive closure queries.  The networkx reachability oracle anchors
+the comparison so a bug shared by all implementations cannot hide.
+
+This is the safety net under the parallel experiment engine: the
+engine's bit-identical guarantee is only meaningful if every executor
+of a work unit computes the same relation to begin with.
+"""
+
+import networkx as nx
+import pytest
+
+from repro.baselines import BASELINE_NAMES, make_baseline
+from repro.core.query import Query, SystemConfig
+from repro.core.registry import ALGORITHM_NAMES, make_algorithm
+from repro.graphs.generator import generate_dag
+
+
+def oracle_closure(graph):
+    nxg = nx.DiGraph()
+    nxg.add_nodes_from(range(graph.num_nodes))
+    nxg.add_edges_from(graph.arcs())
+    return {node: set(nx.descendants(nxg, node)) for node in nxg.nodes}
+
+# (num_nodes, avg_out_degree, locality, graph_seed, buffer_pages):
+# shapes span sparse/deep, dense/shallow, high- and low-locality
+# families, and tight as well as comfortable buffer pools.
+DAG_GRID = [
+    (40, 3, 10, 0, 5),
+    (60, 2, 55, 1, 10),
+    (50, 5, 12, 2, 3),
+    (35, 4, 35, 3, 20),
+    (25, 6, 25, 4, 10),
+]
+
+FULL_CLOSURE_ALGOS = tuple(n for n in ALGORITHM_NAMES if n != "srch")
+ALL_RUNNERS = tuple(ALGORITHM_NAMES) + tuple(BASELINE_NAMES)
+
+
+def _make(name: str):
+    return make_baseline(name) if name in BASELINE_NAMES else make_algorithm(name)
+
+
+def _answer(name: str, graph, query, buffer_pages: int) -> set[tuple[int, int]]:
+    result = _make(name).run(graph, query, SystemConfig(buffer_pages=buffer_pages))
+    return set(result.tuples())
+
+
+def _expected_tuples(graph, sources=None) -> set[tuple[int, int]]:
+    closure = oracle_closure(graph)
+    nodes = range(graph.num_nodes) if sources is None else sources
+    return {(node, succ) for node in nodes for succ in closure[node]}
+
+
+@pytest.mark.parametrize("n,f,loc,seed,buffer_pages", DAG_GRID)
+def test_full_closure_all_implementations_agree(n, f, loc, seed, buffer_pages):
+    graph = generate_dag(n, f, loc, seed=seed)
+    expected = _expected_tuples(graph)
+    for name in FULL_CLOSURE_ALGOS + tuple(BASELINE_NAMES):
+        answer = _answer(name, graph, Query.full(), buffer_pages)
+        assert answer == expected, (
+            f"{name} diverges from the oracle on CTC "
+            f"(n={n}, F={f}, l={loc}, seed={seed}, M={buffer_pages}): "
+            f"missing={sorted(expected - answer)[:5]} "
+            f"extra={sorted(answer - expected)[:5]}"
+        )
+
+
+@pytest.mark.parametrize("n,f,loc,seed,buffer_pages", DAG_GRID)
+@pytest.mark.parametrize("selectivity", [1, 4])
+def test_partial_closure_all_implementations_agree(n, f, loc, seed, buffer_pages, selectivity):
+    import random
+
+    graph = generate_dag(n, f, loc, seed=seed)
+    sources = tuple(random.Random(900 + seed).sample(range(n), selectivity))
+    query = Query.ptc(sources)
+    expected = _expected_tuples(graph, sources)
+    for name in ALL_RUNNERS:
+        answer = _answer(name, graph, query, buffer_pages)
+        assert answer == expected, (
+            f"{name} diverges from the oracle on PTC s={selectivity} "
+            f"(n={n}, F={f}, l={loc}, seed={seed}, M={buffer_pages})"
+        )
+
+
+def test_answers_are_restricted_to_the_sources():
+    """PTC answers must not leak successor lists of non-source nodes."""
+    graph = generate_dag(30, 3, 10, seed=7)
+    query = Query.ptc((2, 11))
+    for name in ALL_RUNNERS:
+        result = _make(name).run(graph, query, SystemConfig(buffer_pages=5))
+        assert set(result.successor_bits) == set(query.sources), name

@@ -1,0 +1,204 @@
+"""Tests for the parallel experiment engine.
+
+The engine's contract: ``--jobs N`` produces bit-identical
+:class:`AveragedMetrics` and the same :class:`RunRecord` payloads as
+the serial path (wall-clock/CPU-time fields excepted -- those are
+measured, not simulated, and differ even between two serial runs), and
+a unit that raises or hangs yields a structured error while the rest of
+the grid completes.
+"""
+
+import json
+import math
+
+import pytest
+
+from repro.core.btc import BtcAlgorithm
+from repro.core.query import SystemConfig
+from repro.experiments.config import get_profile
+from repro.experiments.parallel import (
+    Cell,
+    ExperimentEngine,
+    GraphSpec,
+    WorkUnit,
+    execute_unit,
+    failed_metrics,
+    get_engine,
+    run_cells,
+    use_engine,
+)
+from repro.experiments.queries import QuerySpec
+from repro.experiments.run_all import main as run_all_main
+from repro.obs.sink import MemorySink
+
+SMOKE = get_profile("smoke")
+
+CELLS = [
+    Cell("btc", "G2", QuerySpec.selection(3), SystemConfig(buffer_pages=10)),
+    Cell("bj", "G2", QuerySpec.selection(3), SystemConfig(buffer_pages=10)),
+    Cell("jkb2", "G2", QuerySpec.selection(3), SystemConfig(buffer_pages=10)),
+    Cell("btc", "G2", QuerySpec.full(), SystemConfig(buffer_pages=10)),
+]
+
+# Measured (not simulated) time fields: the only allowed divergence
+# between a serial and a parallel run of the same unit.
+WALL_CLOCK_METRIC_KEYS = ("cpu_seconds", "restructure_cpu_seconds")
+
+
+def record_payload(record) -> str:
+    """A record's JSON form with the wall-clock fields removed."""
+    payload = record.to_dict()
+    payload.pop("wall_seconds")
+    for key in WALL_CLOCK_METRIC_KEYS:
+        payload["metrics"].pop(key, None)
+    return json.dumps(payload, sort_keys=True)
+
+
+class TestParallelEqualsSerial:
+    def test_jobs4_metrics_bit_identical_and_records_match(self):
+        serial_sink, parallel_sink = MemorySink(), MemorySink()
+        serial = ExperimentEngine(jobs=1).run_cells(CELLS, SMOKE, sink=serial_sink)
+        with ExperimentEngine(jobs=4) as engine:
+            parallel = engine.run_cells(CELLS, SMOKE, sink=parallel_sink)
+            assert not engine.failures
+        # Bit-identical averages: dataclass equality compares every
+        # float exactly, no tolerance.
+        assert serial == parallel
+        # Same records, in the same canonical order, modulo wall clock.
+        assert [record_payload(r) for r in serial_sink.records] == [
+            record_payload(r) for r in parallel_sink.records
+        ]
+
+    def test_repeated_grid_replays_identically(self):
+        """The cell memo returns the same metrics and re-emits records."""
+        with ExperimentEngine(jobs=2) as engine:
+            first_sink, second_sink = MemorySink(), MemorySink()
+            first = engine.run_cells(CELLS, SMOKE, sink=first_sink)
+            second = engine.run_cells(CELLS, SMOKE, sink=second_sink)
+        assert first == second
+        assert [record_payload(r) for r in first_sink.records] == [
+            record_payload(r) for r in second_sink.records
+        ]
+
+    def test_run_all_output_file_is_byte_identical(self, tmp_path, monkeypatch, capsys):
+        outputs = []
+        for jobs, subdir in (("1", "serial"), ("2", "parallel")):
+            cwd = tmp_path / subdir
+            cwd.mkdir()
+            monkeypatch.chdir(cwd)
+            assert run_all_main(
+                ["--profile", "smoke", "--only", "figure11", "--jobs", jobs]
+            ) == 0
+            outputs.append((cwd / "experiments_output_smoke.txt").read_bytes())
+        capsys.readouterr()
+        assert outputs[0] == outputs[1]
+
+    def test_default_engine_is_serial(self):
+        engine = get_engine()
+        assert engine.jobs == 1 and not engine.parallel
+
+    def test_use_engine_scopes_the_active_engine(self):
+        with ExperimentEngine(jobs=2) as engine:
+            with use_engine(engine):
+                assert get_engine() is engine
+            assert get_engine() is not engine
+
+
+class TestGraphSpec:
+    def test_profile_spec_matches_profile_build(self):
+        spec = GraphSpec.for_profile("G2", SMOKE, seed=1)
+        built, reference = spec.build(), SMOKE.build("G2", seed=1)
+        assert built.num_nodes == reference.num_nodes
+        assert list(built.arcs()) == list(reference.arcs())
+
+    def test_worker_graph_cache_reuses_the_graph(self):
+        from repro.experiments import parallel as par
+
+        par._GRAPH_CACHE.clear()
+        spec = GraphSpec.for_profile("G2", SMOKE, seed=0)
+        unit = WorkUnit(cell_index=0, algorithm="btc", graph=spec,
+                        query=QuerySpec.selection(2), system=SystemConfig(buffer_pages=10))
+        execute_unit(unit, timeout=None)
+        cached = par._GRAPH_CACHE[spec]
+        execute_unit(unit, timeout=None)
+        assert par._GRAPH_CACHE[spec] is cached
+        assert len(par._GRAPH_CACHE) == 1
+        par._GRAPH_CACHE.clear()
+
+
+class TestFaultInjection:
+    def test_raising_unit_yields_structured_error_and_partial_results(self, monkeypatch):
+        def boom(self, *args, **kwargs):
+            raise RuntimeError("injected failure")
+
+        monkeypatch.setattr(BtcAlgorithm, "run", boom)
+        # btc is broken; spn does not inherit from BtcAlgorithm.
+        cells = [CELLS[0],
+                 Cell("spn", "G2", QuerySpec.selection(3), SystemConfig(buffer_pages=10))]
+        with ExperimentEngine(jobs=2) as engine:
+            results = engine.run_cells(cells, SMOKE)
+            failures = list(engine.failures)
+        # The broken cell is marked, the healthy cell completed.
+        assert results[0].runs == 0 and math.isnan(results[0].total_io)
+        assert results[1].runs > 0 and results[1].total_io > 0
+        assert failures
+        error = failures[0]
+        assert error.kind == "exception"
+        assert "injected failure" in error.message
+        assert error.attempts == 2  # one retry happened
+        assert error.unit["algorithm"] == "btc"
+
+    def test_hanging_unit_times_out(self, monkeypatch):
+        import time as time_module
+
+        def hang(self, *args, **kwargs):
+            time_module.sleep(60)
+
+        monkeypatch.setattr(BtcAlgorithm, "run", hang)
+        with ExperimentEngine(jobs=2, timeout=0.5) as engine:
+            results = engine.run_cells([CELLS[0]], SMOKE)
+            failures = list(engine.failures)
+        assert math.isnan(results[0].total_io)
+        assert failures and failures[0].kind == "timeout"
+
+    def test_run_all_exits_nonzero_on_failed_cells(self, tmp_path, monkeypatch, capsys):
+        def boom(self, *args, **kwargs):
+            raise RuntimeError("injected failure")
+
+        monkeypatch.setattr(BtcAlgorithm, "run", boom)
+        monkeypatch.chdir(tmp_path)
+        code = run_all_main(
+            ["--profile", "smoke", "--only", "figure11", "--jobs", "2", "--no-file"]
+        )
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "failed" in captured.err
+        assert "injected failure" in captured.err
+        # Partial results still rendered, with the failed cells marked.
+        assert "Figure 11" in captured.out
+        assert "nan" in captured.out
+        assert "JKB2" in captured.out
+
+    def test_failed_metrics_sentinel_is_all_nan(self):
+        sentinel = failed_metrics("btc")
+        assert sentinel.algorithm == "btc" and sentinel.runs == 0
+        assert math.isnan(sentinel.total_io) and math.isnan(sentinel.hit_ratio)
+
+
+class TestEngineValidation:
+    def test_rejects_nonpositive_jobs(self):
+        with pytest.raises(ValueError):
+            ExperimentEngine(jobs=0)
+
+    def test_map_units_preserves_submission_order(self):
+        spec = GraphSpec.for_profile("G2", SMOKE, seed=0)
+        units = [
+            WorkUnit(cell_index=i, algorithm=name, graph=spec,
+                     query=QuerySpec.selection(2), system=SystemConfig(buffer_pages=10))
+            for i, name in enumerate(("bj", "btc", "spn"))
+        ]
+        with ExperimentEngine(jobs=3) as engine:
+            outcomes = engine.map_units(units)
+        assert [o.cell_index for o in outcomes] == [0, 1, 2]
+        assert all(o.ok for o in outcomes)
+        assert [o.result.algorithm for o in outcomes] == ["bj", "btc", "spn"]
