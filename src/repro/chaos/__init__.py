@@ -1,0 +1,19 @@
+"""Chaos harness: fault injection, invariant auditing, sweep checkpoints.
+
+Three planes, each usable on its own:
+
+* :mod:`repro.chaos.faults` -- a seeded, deterministic fault plane that
+  can be armed at the page, buffer-pool, successor-store and
+  experiment-unit boundaries (``--chaos`` / ``REPRO_CHAOS``);
+* :mod:`repro.chaos.audit` -- always-on cheap invariant checks over the
+  storage substrate, with a ``strict`` mode that re-verifies the buffer
+  pool after every eviction (``--audit`` / ``REPRO_AUDIT``);
+* :mod:`repro.chaos.checkpoint` -- a crash-safe JSONL journal of
+  completed experiment cells, so a killed sweep resumed with
+  ``--resume`` re-runs only the missing cells.
+
+This package deliberately re-exports nothing: the buffer pool imports
+``repro.chaos.faults`` on its hot path, and an ``__init__`` that pulled
+in the checkpoint machinery (which imports the experiment stack) would
+create an import cycle.  Import the submodule you need.
+"""

@@ -26,9 +26,12 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.baselines import BASELINE_NAMES, make_baseline
+from repro.chaos.audit import AUDIT_MODES, ENV_AUDIT, set_audit_mode
+from repro.chaos.faults import ENV_CHAOS, FaultPlan, set_fault_plan
 from repro.core.base import TwoPhaseAlgorithm
 from repro.core.query import Query, SystemConfig
 from repro.core.registry import ALGORITHM_NAMES, make_algorithm
@@ -131,6 +134,13 @@ def _run_parser() -> argparse.ArgumentParser:
     execution.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
                            help="per-algorithm wall-clock limit when --jobs > 1 "
                            "(one retry, then a structured error and exit 1)")
+    robustness = parser.add_argument_group("robustness")
+    robustness.add_argument("--chaos", metavar="SPEC", default=None,
+                            help="arm the fault-injection plane, e.g. "
+                            "'corrupt-read,after=100' (see docs/ROBUSTNESS.md)")
+    robustness.add_argument("--audit", choices=AUDIT_MODES, default=None,
+                            help="invariant audit mode "
+                            "(default: cheap, or REPRO_AUDIT)")
     return parser
 
 
@@ -193,7 +203,17 @@ def _run_command(args: argparse.Namespace) -> int:
     if args.jobs > 1 and args.trace_out is not None:
         print("note: --trace-out needs in-process tracing; running serially",
               file=sys.stderr)
+    plan = None
     try:
+        if args.chaos:
+            plan = FaultPlan.parse(args.chaos)
+            set_fault_plan(plan)
+            # Worker processes (--jobs > 1) arm their own copy from the
+            # environment in the pool initialiser.
+            os.environ[ENV_CHAOS] = args.chaos
+        if args.audit:
+            set_audit_mode(args.audit)
+            os.environ[ENV_AUDIT] = args.audit
         graph = _build_graph(args)
         query = _build_query(graph, args)
         config = _system_config(args)
@@ -240,9 +260,12 @@ def _run_command(args: argparse.Namespace) -> int:
                 result = algorithm.run(graph, query, config)
 
             if sink is not None:
-                sink.emit(RunRecord.from_result(
+                record = RunRecord.from_result(
                     result, workload=workload, recorder=recorder, trace=trace,
-                ))
+                )
+                if plan is not None:
+                    record.faults = [e.as_dict() for e in plan.drain_events()]
+                sink.emit(record)
             if trace is not None:
                 trace_profiles[name] = summarise_trace(trace)
 
@@ -261,6 +284,8 @@ def _run_command(args: argparse.Namespace) -> int:
             )
     except Exception as exc:  # the gate: broken runs must not exit 0
         print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
+        if plan is not None:
+            print(plan.summary(), file=sys.stderr)
         return 1
     finally:
         if sink is not None:

@@ -134,6 +134,12 @@ class TwoPhaseAlgorithm(ABC):
                 output_nodes = self.write_out(ctx)
 
             ctx.metrics.cpu_seconds = time.process_time() - start
+
+        if ctx.auditor is not None:
+            # The end-of-run invariant sweep: pool residency/pinning,
+            # successor-block structure, clustered layout, counters.
+            # Raises a structured InvariantViolation on any breach.
+            ctx.auditor.audit_run(ctx)
         return self._build_result(ctx, output_nodes)
 
     # -- restructuring phase (shared) ------------------------------------------

@@ -10,6 +10,7 @@ parent reduction is allowed to rewrite).
 
 from __future__ import annotations
 
+from repro.chaos.audit import make_auditor
 from repro.core.query import Query, SystemConfig
 from repro.graphs.digraph import Digraph
 from repro.metrics.counters import MetricSet
@@ -39,6 +40,11 @@ class ExecutionContext:
         self.metrics = MetricSet()
         self.recorder = recorder
         self.trace = trace
+        # The invariant auditor (repro.chaos.audit): None when audit
+        # mode is "off", cheap end-of-run checks by default, plus
+        # after-every-eviction pool checks in "strict" mode.  A pure
+        # observer -- page-I/O counts are identical with or without it.
+        self.auditor = make_auditor()
         policy = make_policy(system.page_policy, seed=system.policy_seed)
         if trace is not None:
             self.pool: BufferPool = TracedPool(
@@ -47,6 +53,7 @@ class ExecutionContext:
                 stats=self.metrics.io,
                 policy=policy,
                 recorder=recorder,
+                auditor=self.auditor,
             )
         else:
             self.pool = BufferPool(
@@ -54,6 +61,7 @@ class ExecutionContext:
                 stats=self.metrics.io,
                 policy=policy,
                 recorder=recorder,
+                auditor=self.auditor,
             )
         self.relation = ArcRelation(graph)
         self.inverse_relation: InverseArcRelation | None = (
@@ -91,7 +99,14 @@ class ExecutionContext:
     # -- phase bookkeeping -------------------------------------------------
 
     def enter_phase(self, phase: Phase) -> None:
-        """Switch the I/O accounting to a new execution phase."""
+        """Switch the I/O accounting to a new execution phase.
+
+        Phase transitions are also the auditor's counter checkpoints:
+        totals must be monotone and requests must equal hits plus
+        physical reads at every boundary.
+        """
+        if self.auditor is not None:
+            self.auditor.check_counters(self.metrics.io)
         self.metrics.io.phase = phase
 
     # -- shared helpers used by the algorithms ------------------------------

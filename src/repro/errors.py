@@ -51,5 +51,53 @@ class UnknownAlgorithmError(ReproError):
     """An algorithm name was not found in the registry."""
 
 
-class ConfigurationError(ReproError):
-    """An experiment or system configuration value is invalid."""
+class ConfigurationError(ReproError, ValueError):
+    """An experiment or system configuration value is invalid.
+
+    Also a :class:`ValueError`, so callers validating workload
+    parameters (graph generator inputs, chaos specs, profile names) can
+    catch it with the standard library idiom.
+    """
+
+
+class InvariantViolation(ReproError):
+    """An internal accounting invariant of the simulator was broken.
+
+    Raised by the invariant auditor (:mod:`repro.chaos.audit`).  Each
+    violation is structured: ``invariant`` names the check that failed
+    (e.g. ``pool.residency``, ``store.block-capacity``), ``detail`` is
+    the human-readable explanation, and ``context`` carries the
+    offending values so failures can be triaged from a log line alone.
+    """
+
+    def __init__(self, invariant: str, detail: str, **context: object) -> None:
+        self.invariant = invariant
+        self.detail = detail
+        self.context = context
+        suffix = ""
+        if context:
+            pairs = ", ".join(f"{key}={value!r}" for key, value in sorted(context.items()))
+            suffix = f" [{pairs}]"
+        super().__init__(f"invariant {invariant!r} violated: {detail}{suffix}")
+
+
+class InjectedFaultError(ReproError):
+    """Base class for failures injected by the chaos fault plane.
+
+    These are deliberate, seeded faults (:mod:`repro.chaos.faults`);
+    they signal that the system *detected* the injury, which is the
+    behaviour the chaos harness verifies.  They never occur unless a
+    fault plan is armed.
+    """
+
+
+class CorruptPageReadError(InjectedFaultError, BufferPoolError):
+    """An injected checksum failure on a physical page read."""
+
+
+class TornWriteError(InjectedFaultError, StorageError):
+    """An injected partial (torn) successor-block write."""
+
+
+class InjectedCrashError(InjectedFaultError):
+    """An injected crash at an experiment-unit boundary."""

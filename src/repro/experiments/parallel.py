@@ -29,11 +29,21 @@ serial execution:
   code path.
 
 Robustness: every unit runs under an optional wall-clock ``timeout``
-(SIGALRM inside the worker, so pure-Python hangs are interrupted), is
-retried once, and -- if it still fails -- yields a structured
+(SIGALRM where available so pure-Python hangs are interrupted, a soft
+post-run deadline check elsewhere), is retried with a jittered
+exponential backoff, and -- if it still fails -- yields a structured
 :class:`UnitError` on ``engine.failures`` while the rest of the grid
 completes.  A failed cell renders as ``nan`` in tables/figures and the
-drivers exit non-zero.
+drivers exit non-zero.  When a :class:`~repro.chaos.faults.FaultPlan`
+is armed (``--chaos``/``REPRO_CHAOS``) each unit is also a crash
+opportunity, and any injected fault surfaces as a ``UnitError`` of
+kind ``"fault"``.
+
+Checkpoint/resume: attach a :class:`~repro.chaos.checkpoint.SweepJournal`
+and every completed cell is durably journaled under its deterministic
+key; on the next run journaled cells replay their records through the
+same emission path and return the stored averages, so a killed sweep
+resumed with ``--resume`` produces byte-identical output.
 
 Because the cells of a sweep frequently repeat (Figures 8-12 share one
 cell grid and only plot different metrics), the engine also memoises
@@ -45,18 +55,24 @@ execution.
 
 from __future__ import annotations
 
+import dataclasses
 import math
+import random
 import signal
+import threading
 import time
 import traceback
-from collections.abc import Iterator, Sequence
+from collections.abc import Callable, Iterator, Sequence
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from contextlib import contextmanager
 from dataclasses import dataclass, fields
 from typing import Any
 
+from repro.chaos.checkpoint import SweepJournal, cell_key
+from repro.chaos.faults import FaultKind, active_plan, arm_from_env
 from repro.core.query import SystemConfig
 from repro.core.result import ClosureResult
+from repro.errors import InjectedCrashError, InjectedFaultError
 from repro.experiments.config import ScaleProfile
 from repro.experiments.queries import QuerySpec
 from repro.experiments.runner import AveragedMetrics, average_runs
@@ -68,6 +84,9 @@ from repro.obs.sink import RunSink, get_global_sink, reset_worker_sinks
 
 DEFAULT_RETRIES = 1
 """How many times a failed or timed-out unit is resubmitted."""
+
+DEFAULT_BACKOFF = 0.05
+"""Base delay (seconds) of the jittered exponential retry backoff."""
 
 
 # ---------------------------------------------------------------------------
@@ -150,7 +169,7 @@ class WorkUnit:
 class UnitError:
     """Structured record of a unit that failed after all retries."""
 
-    kind: str  # "exception" | "timeout" | "lost"
+    kind: str  # "exception" | "timeout" | "fault" | "lost"
     message: str
     attempts: int
     unit: dict[str, Any]
@@ -212,9 +231,15 @@ def _worker_init() -> None:
     benchmark suite installs a :class:`MemorySink`, ``run_all`` may
     install a :class:`JsonlSink`); records are merged by the parent in
     canonical order, so emitting in the worker would double-count.
+
+    The chaos plane re-arms from ``REPRO_CHAOS`` (the drivers export
+    the spec before building the pool), so fault opportunities are
+    counted per process -- documented behaviour: an ``after=N`` clause
+    means "the N-th opportunity *in that worker*".
     """
     reset_worker_sinks()
     _GRAPH_CACHE.clear()
+    arm_from_env()
 
 
 def _cached_graph(spec: GraphSpec) -> Digraph:
@@ -224,23 +249,46 @@ def _cached_graph(spec: GraphSpec) -> Digraph:
     return graph
 
 
+_HAS_SIGALRM = hasattr(signal, "SIGALRM")
+
+
 @contextmanager
-def _alarm(timeout: float | None) -> Iterator[None]:
-    """Interrupt pure-Python execution after ``timeout`` seconds."""
+def _unit_guard(timeout: float | None) -> Iterator[Callable[[], None]]:
+    """Bound a unit's wall clock, portably.
+
+    Where SIGALRM exists and we are on the main thread of the process
+    (always true for pool workers and the serial path), pure-Python
+    hangs are interrupted mid-flight.  Elsewhere (Windows, exotic
+    embedding threads) the guard degrades to a *soft deadline*: the
+    yielded check callable raises :class:`UnitTimeout` after the fact,
+    so an over-budget unit is still reported -- it just is not
+    preempted.  Callers must invoke the check once the guarded work
+    returns.
+    """
     if not timeout or timeout <= 0:
-        yield
+        yield lambda: None
         return
 
-    def _on_alarm(signum: int, frame: object) -> None:
-        raise UnitTimeout(f"unit exceeded {timeout:g}s")
+    if _HAS_SIGALRM and threading.current_thread() is threading.main_thread():
+        def _on_alarm(signum: int, frame: object) -> None:
+            raise UnitTimeout(f"unit exceeded {timeout:g}s")
 
-    previous = signal.signal(signal.SIGALRM, _on_alarm)
-    signal.setitimer(signal.ITIMER_REAL, timeout)
-    try:
-        yield
-    finally:
-        signal.setitimer(signal.ITIMER_REAL, 0.0)
-        signal.signal(signal.SIGALRM, previous)
+        previous = signal.signal(signal.SIGALRM, _on_alarm)
+        signal.setitimer(signal.ITIMER_REAL, timeout)
+        try:
+            yield lambda: None
+        finally:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(signal.SIGALRM, previous)
+        return
+
+    deadline = time.monotonic() + timeout
+
+    def _check() -> None:
+        if time.monotonic() > deadline:
+            raise UnitTimeout(f"unit exceeded {timeout:g}s (soft deadline)")
+
+    yield _check
 
 
 def _make_runner(name: str):
@@ -254,19 +302,41 @@ def _make_runner(name: str):
     return make_algorithm(name)
 
 
-def execute_unit(unit: WorkUnit, timeout: float | None, attempt: int = 1) -> UnitOutcome:
-    """Run one unit to completion; never raises (errors are data)."""
+def execute_unit(unit: WorkUnit, timeout: float | None, attempt: int = 1,
+                 delay: float = 0.0) -> UnitOutcome:
+    """Run one unit to completion; never raises (errors are data).
+
+    ``delay`` is the retry backoff, slept *here* (in the worker for a
+    pooled retry) so the parent's scheduling loop never blocks.
+    """
+    if delay > 0:
+        time.sleep(delay)
     outcome = UnitOutcome(unit.cell_index, unit.graph_seed, unit.sample_index)
+    plan = active_plan()
+    if plan is not None:
+        plan.drain_events()  # events of a previous unit are not ours
     try:
+        if plan is not None:
+            event = plan.fire(FaultKind.CRASH_UNIT)
+            if event is not None:
+                raise InjectedCrashError(
+                    f"injected crash at the start of unit "
+                    f"(chaos opportunity {event.opportunity})"
+                )
         graph = _cached_graph(unit.graph)
         query = unit.query.materialise(graph, unit.sample_index, seed=unit.source_seed)
         algorithm = _make_runner(unit.algorithm)
-        with _alarm(timeout):
+        with _unit_guard(timeout) as check_deadline:
             start = time.perf_counter()
             result = algorithm.run(graph, query, unit.system)
             wall_seconds = time.perf_counter() - start
+            check_deadline()
     except UnitTimeout as exc:
         outcome.error = UnitError("timeout", str(exc), attempt, unit.describe())
+        return outcome
+    except InjectedFaultError as exc:
+        message = f"{type(exc).__name__}: {exc}"
+        outcome.error = UnitError("fault", message, attempt, unit.describe())
         return outcome
     except Exception as exc:
         message = f"{type(exc).__name__}: {exc}"
@@ -276,6 +346,10 @@ def execute_unit(unit: WorkUnit, timeout: float | None, attempt: int = 1) -> Uni
     workload = dict(unit.workload) or {"nodes": graph.num_nodes, "arcs": graph.num_arcs}
     outcome.result = result
     outcome.record = RunRecord.from_result(result, workload=workload, wall_seconds=wall_seconds)
+    if plan is not None:
+        # Non-fatal faults (slow-io, evict-storm) that fired during the
+        # run travel with the record, so chaos runs are auditable.
+        outcome.record.faults = [event.as_dict() for event in plan.drain_events()]
     return outcome
 
 
@@ -294,15 +368,27 @@ class ExperimentEngine:
     """
 
     def __init__(self, jobs: int = 1, timeout: float | None = None,
-                 retries: int = DEFAULT_RETRIES) -> None:
+                 retries: int = DEFAULT_RETRIES, backoff: float = DEFAULT_BACKOFF,
+                 checkpoint: SweepJournal | None = None) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         self.jobs = jobs
         self.timeout = timeout
         self.retries = retries
+        self.backoff = backoff
+        self.checkpoint = checkpoint
         self.failures: list[UnitError] = []
         self._pool: ProcessPoolExecutor | None = None
-        self._cell_memo: dict[tuple, tuple[AveragedMetrics, list[RunRecord]]] = {}
+        self._cell_memo: dict[str, tuple[AveragedMetrics, list[RunRecord]]] = {}
+        # Fixed-seed jitter: retry delays are deterministic for a given
+        # submission order, like everything else about the engine.
+        self._backoff_rng = random.Random(0x5EED)
+
+    def _retry_delay(self, attempt: int) -> float:
+        """Jittered exponential backoff before retry ``attempt`` (>= 2)."""
+        if self.backoff <= 0:
+            return 0.0
+        return self.backoff * (2 ** (attempt - 2)) * (0.5 + self._backoff_rng.random())
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -350,8 +436,11 @@ class ExperimentEngine:
 
     def _run_with_retry_serial(self, unit: WorkUnit) -> UnitOutcome:
         outcome = execute_unit(unit, self.timeout)
-        if outcome.error is not None and self.retries > 0:
-            outcome = execute_unit(unit, self.timeout, attempt=2)
+        attempt = 1
+        while outcome.error is not None and attempt <= self.retries:
+            attempt += 1
+            outcome = execute_unit(unit, self.timeout, attempt=attempt,
+                                   delay=self._retry_delay(attempt))
         return outcome
 
     def _map_units_pool(self, units: Sequence[WorkUnit]) -> list[UnitOutcome]:
@@ -388,7 +477,8 @@ class ExperimentEngine:
                                         attempt, unit.describe()),
                     )
                 if outcome.error is not None and attempt <= self.retries:
-                    retry = pool.submit(execute_unit, unit, self.timeout, attempt + 1)
+                    retry = pool.submit(execute_unit, unit, self.timeout,
+                                        attempt + 1, self._retry_delay(attempt + 1))
                     pending[retry] = (index, unit, attempt + 1)
                     continue
                 outcomes[index] = outcome
@@ -410,18 +500,26 @@ class ExperimentEngine:
         aggregation replays the serial order exactly.  A cell with a
         permanently failed unit yields :func:`failed_metrics` (its
         errors are on :attr:`failures`).
+
+        With a :attr:`checkpoint` journal attached, cells already in
+        the journal replay instead of re-running, and every freshly
+        completed cell is durably appended; failed cells are never
+        journaled, so a resume retries them.
         """
         if not self.parallel:
-            return [
-                average_runs(cell.algorithm, cell.family, cell.query, profile,
-                             cell.system, sink=sink)
-                for cell in cells
-            ]
+            if self.checkpoint is None:
+                return [
+                    average_runs(cell.algorithm, cell.family, cell.query, profile,
+                                 cell.system, sink=sink)
+                    for cell in cells
+                ]
+            return [self._run_cell_serial_journaled(cell, profile, sink)
+                    for cell in cells]
         results: list[AveragedMetrics | None] = [None] * len(cells)
         units: list[WorkUnit] = []
         fresh: dict[int, Cell] = {}
         for cell_index, cell in enumerate(cells):
-            memo = self._cell_memo.get(self._cell_key(cell, profile))
+            memo = self._lookup_cell(self._cell_key(cell, profile))
             if memo is not None:
                 metrics, records = memo
                 self._emit(records, sink)
@@ -444,9 +542,54 @@ class ExperimentEngine:
             metrics = AveragedMetrics.from_results(
                 cell.algorithm, [outcome.result for outcome in outcomes]
             )
-            self._cell_memo[self._cell_key(cell, profile)] = (metrics, records)
+            self._store_cell(self._cell_key(cell, profile), metrics, records)
             results[cell_index] = metrics
         return results  # type: ignore[return-value]
+
+    def _run_cell_serial_journaled(
+        self, cell: Cell, profile: ScaleProfile, sink: RunSink | None
+    ) -> AveragedMetrics:
+        """One serial cell with checkpoint replay/append.
+
+        A journaled cell replays its records through :meth:`_emit`
+        (sink plus global sink -- the same two destinations
+        ``run_single`` writes), so a resumed sweep's output is
+        byte-identical to an uninterrupted one.  Fresh cells run
+        through the unchanged serial path with a tee sink capturing
+        the records for the journal.
+        """
+        key = self._cell_key(cell, profile)
+        cached = self.checkpoint.get(key) if self.checkpoint is not None else None
+        if cached is not None:
+            metrics, records = cached
+            self._emit(records, sink)
+            return metrics
+        # run_single also emits to the process-wide sink; when that is
+        # the very sink we were given, forwarding from the tee would
+        # double-emit, so the tee only captures.
+        forward = sink if sink is not get_global_sink() else None
+        capture = _CaptureSink(forward)
+        metrics = average_runs(cell.algorithm, cell.family, cell.query, profile,
+                               cell.system, sink=capture)
+        if self.checkpoint is not None and metrics.runs > 0:
+            self.checkpoint.record(key, metrics, capture.records)
+        return metrics
+
+    def _lookup_cell(
+        self, key: str
+    ) -> tuple[AveragedMetrics, list[RunRecord]] | None:
+        memo = self._cell_memo.get(key)
+        if memo is None and self.checkpoint is not None:
+            memo = self.checkpoint.get(key)
+            if memo is not None:
+                self._cell_memo[key] = memo
+        return memo
+
+    def _store_cell(self, key: str, metrics: AveragedMetrics,
+                    records: list[RunRecord]) -> None:
+        self._cell_memo[key] = (metrics, records)
+        if self.checkpoint is not None:
+            self.checkpoint.record(key, metrics, records)
 
     def _cell_units(self, cell_index: int, cell: Cell,
                     profile: ScaleProfile) -> Iterator[WorkUnit]:
@@ -471,9 +614,15 @@ class ExperimentEngine:
                 )
 
     @staticmethod
-    def _cell_key(cell: Cell, profile: ScaleProfile) -> tuple:
-        system = tuple(sorted(system_config_dict(cell.system).items()))
-        return (cell.algorithm, cell.family, cell.query, system, profile)
+    def _cell_key(cell: Cell, profile: ScaleProfile) -> str:
+        """The cell's canonical identity string (also the journal key)."""
+        return cell_key(
+            cell.algorithm,
+            cell.family,
+            cell.query.selectivity,
+            system_config_dict(cell.system),
+            dataclasses.asdict(profile),
+        )
 
     @staticmethod
     def _emit(records: Sequence[RunRecord], sink: RunSink | None) -> None:
@@ -484,6 +633,24 @@ class ExperimentEngine:
                 sink.emit(record)
             if global_sink is not None and global_sink is not sink:
                 global_sink.emit(record)
+
+
+class _CaptureSink:
+    """Tee sink: forwards to the real sink while keeping the records.
+
+    Used by the journaled serial path, which needs the records of a
+    cell to persist them -- while the downstream sink still sees every
+    record exactly when and where it otherwise would.
+    """
+
+    def __init__(self, forward: RunSink | None) -> None:
+        self.forward = forward
+        self.records: list[RunRecord] = []
+
+    def emit(self, record: RunRecord) -> None:
+        self.records.append(record)
+        if self.forward is not None:
+            self.forward.emit(record)
 
 
 # ---------------------------------------------------------------------------

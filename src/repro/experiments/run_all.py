@@ -14,16 +14,33 @@ guarantees bit-identical averages; see
 :mod:`repro.experiments.parallel`).
 
 ``--jobs N`` fans the experiment grid across N worker processes;
-``--timeout S`` bounds each individual run (one retry, then the cell is
-marked failed with ``nan`` values and the exit status is non-zero).
+``--timeout S`` bounds each individual run (retried with backoff, then
+the cell is marked failed with ``nan`` values and the exit status is
+non-zero).
+
+Robustness controls (see ``docs/ROBUSTNESS.md``):
+
+* ``--resume sweep.journal`` -- journal every completed cell to a
+  crash-safe checkpoint; re-running the same command after a kill
+  re-executes only the missing cells and produces byte-identical
+  output.
+* ``--chaos SPEC`` -- arm the fault-injection plane (also exported as
+  ``REPRO_CHAOS`` so worker processes arm the same plan).
+* ``--audit MODE`` -- off / cheap (default) / strict invariant
+  auditing.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 
+from repro.chaos.audit import AUDIT_MODES, ENV_AUDIT, set_audit_mode
+from repro.chaos.checkpoint import SweepJournal
+from repro.chaos.faults import ENV_CHAOS, FaultPlan, set_fault_plan
+from repro.errors import ReproError
 from repro.experiments.config import PROFILES, get_profile
 from repro.experiments.figures import ALL_FIGURES, FigureData
 from repro.experiments.parallel import ExperimentEngine, use_engine
@@ -71,10 +88,37 @@ def main(argv: list[str] | None = None) -> int:
         "--timeout", type=float, default=None, metavar="SECONDS",
         help="per-run wall-clock limit (one retry; default: none)",
     )
+    parser.add_argument(
+        "--resume", metavar="JOURNAL", default=None,
+        help="checkpoint completed cells to JOURNAL and resume from it",
+    )
+    parser.add_argument(
+        "--chaos", metavar="SPEC", default=None,
+        help="arm the fault-injection plane, e.g. 'corrupt-read,after=100'",
+    )
+    parser.add_argument(
+        "--audit", choices=AUDIT_MODES, default=None,
+        help="invariant audit mode (default: cheap, or REPRO_AUDIT)",
+    )
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
     profile = get_profile(args.profile)
+
+    plan = None
+    try:
+        if args.chaos:
+            plan = FaultPlan.parse(args.chaos)
+            set_fault_plan(plan)
+            # Workers re-arm their own plan from the environment.
+            os.environ[ENV_CHAOS] = args.chaos
+        if args.audit:
+            set_audit_mode(args.audit)
+            os.environ[ENV_AUDIT] = args.audit
+        journal = SweepJournal(args.resume) if args.resume else None
+    except (ReproError, ValueError) as exc:
+        print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 2
 
     experiments: dict[str, object] = {}
     experiments.update(_TABLES)
@@ -88,18 +132,34 @@ def main(argv: list[str] | None = None) -> int:
                 f"(n={profile.num_nodes}, {profile.graphs_per_family} graphs/family, "
                 f"{profile.source_samples} source samples)"]
     print(sections[0], flush=True)
-    engine = ExperimentEngine(jobs=args.jobs, timeout=args.timeout)
-    with engine, use_engine(engine):
-        for name in selected:
-            start = time.perf_counter()
-            runner = experiments[name]
-            if name in _TABLES:
-                text = runner(profile)
-            else:
-                text = _render_figure(runner(profile))
-            elapsed = time.perf_counter() - start
-            sections.append(f"## {name}\n{text}")
-            print(f"## {name}  ({elapsed:.1f}s)\n{text}", flush=True)
+    engine = ExperimentEngine(jobs=args.jobs, timeout=args.timeout,
+                              checkpoint=journal)
+    try:
+        with engine, use_engine(engine):
+            for name in selected:
+                start = time.perf_counter()
+                runner = experiments[name]
+                if name in _TABLES:
+                    text = runner(profile)
+                else:
+                    text = _render_figure(runner(profile))
+                elapsed = time.perf_counter() - start
+                sections.append(f"## {name}\n{text}")
+                print(f"## {name}  ({elapsed:.1f}s)\n{text}", flush=True)
+    except ReproError as exc:
+        # Injected faults and invariant violations surface here as
+        # structured errors -- never as a traceback.
+        print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
+        if plan is not None:
+            print(plan.summary(), file=sys.stderr)
+        if journal is not None:
+            print(journal.describe(), file=sys.stderr)
+        return 1
+
+    if journal is not None:
+        print(f"\n[{journal.describe()}]")
+    if plan is not None:
+        print(f"[{plan.summary()}]", file=sys.stderr)
 
     if not args.no_file:
         path = f"experiments_output_{profile.name}.txt"

@@ -16,10 +16,24 @@ the number of nodes ``n``, the average out-degree ``F`` and the
 
 from __future__ import annotations
 
+import math
 import random
 
 from repro.errors import ConfigurationError
 from repro.graphs.digraph import Digraph
+
+
+def _require_int(name: str, value: object) -> int:
+    """Coerce an integral parameter, rejecting bools and non-integers."""
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ConfigurationError(
+            f"{name} must be an integer, got {value!r} ({type(value).__name__})"
+        )
+    if isinstance(value, float):
+        if not value.is_integer():
+            raise ConfigurationError(f"{name} must be an integer, got {value!r}")
+        value = int(value)
+    return value
 
 
 def generate_dag(
@@ -44,8 +58,17 @@ def generate_dag(
         Seed for the pseudo-random generator.  Runs with the same seed
         and parameters produce identical graphs.
     """
+    num_nodes = _require_int("num_nodes", num_nodes)
+    locality = _require_int("locality", locality)
     if num_nodes <= 0:
         raise ConfigurationError(f"num_nodes must be positive, got {num_nodes}")
+    if isinstance(avg_out_degree, bool) or not isinstance(avg_out_degree, (int, float)):
+        raise ConfigurationError(
+            f"avg_out_degree must be a number, got {avg_out_degree!r} "
+            f"({type(avg_out_degree).__name__})"
+        )
+    if not math.isfinite(avg_out_degree):
+        raise ConfigurationError(f"avg_out_degree must be finite, got {avg_out_degree!r}")
     if avg_out_degree < 0:
         raise ConfigurationError(f"avg_out_degree must be non-negative, got {avg_out_degree}")
     if locality < 1:

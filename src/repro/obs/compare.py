@@ -14,6 +14,7 @@ noisy across machines; pass a ``cpu_threshold`` to enable it).
 from __future__ import annotations
 
 import json
+import sys
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Union
@@ -25,20 +26,34 @@ RecordSource = Union[str, Path, list[RunRecord]]
 
 
 def load_records(source: RecordSource) -> list[RunRecord]:
-    """Read run records from a JSONL file (or pass a list through)."""
+    """Read run records from a JSONL file (or pass a list through).
+
+    A truncated *final* line -- the signature a crash mid-append leaves
+    behind (:class:`~repro.obs.sink.JsonlSink` fsyncs whole lines) --
+    is discarded with a warning.  Corruption anywhere else still
+    raises: that is not a crash artefact but a damaged file.
+    """
     if isinstance(source, list):
         return source
     path = Path(source)
     records = []
     with path.open() as handle:
-        for number, line in enumerate(handle, start=1):
-            line = line.strip()
-            if not line:
+        lines = handle.readlines()
+    for number, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            records.append(RunRecord.from_json(line))
+        except (json.JSONDecodeError, TypeError) as exc:
+            if number == len(lines):
+                print(
+                    f"warning: {path}:{number}: discarding truncated final "
+                    f"record line ({type(exc).__name__})",
+                    file=sys.stderr,
+                )
                 continue
-            try:
-                records.append(RunRecord.from_json(line))
-            except (json.JSONDecodeError, TypeError) as exc:
-                raise ValueError(f"{path}:{number}: not a RunRecord line: {exc}") from exc
+            raise ValueError(f"{path}:{number}: not a RunRecord line: {exc}") from exc
     return records
 
 

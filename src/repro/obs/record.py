@@ -158,6 +158,8 @@ class RunRecord:
     trace: dict[str, Any] | None = None
     wall_seconds: float = 0.0
     schema_version: int = SCHEMA_VERSION
+    faults: list[dict[str, Any]] = field(default_factory=list)
+    """Injected chaos faults that fired during this run (normally empty)."""
 
     @classmethod
     def from_result(
@@ -227,8 +229,15 @@ class RunRecord:
     # -- (de)serialisation ---------------------------------------------------
 
     def to_dict(self) -> dict[str, Any]:
-        """Plain-dictionary form, ready for ``json.dumps``."""
-        return dataclasses.asdict(self)
+        """Plain-dictionary form, ready for ``json.dumps``.
+
+        ``faults`` is omitted when empty, so records of fault-free runs
+        serialise byte-identically to the pre-chaos schema.
+        """
+        data = dataclasses.asdict(self)
+        if not data["faults"]:
+            del data["faults"]
+        return data
 
     def to_json(self) -> str:
         """One compact JSON line (no embedded newlines)."""

@@ -99,8 +99,12 @@ class JsonlSink(RunSink):
     """Appends records to a JSONL file, one compact JSON object per line.
 
     The file is opened lazily on the first emit (append mode, so a
-    baseline file can be accumulated over several invocations) and
-    flushed after every record so partial results survive a crash.
+    baseline file can be accumulated over several invocations).  Every
+    record is written as one whole line, flushed, *and fsynced*, so a
+    crash -- even a power loss -- can at worst truncate the final line,
+    never lose an acknowledged record or interleave two
+    (:func:`repro.obs.compare.load_records` tolerates exactly that
+    truncated-final-line signature).
     """
 
     def __init__(self, path: str | Path, enabled: bool | None = None) -> None:
@@ -123,6 +127,7 @@ class JsonlSink(RunSink):
             self._handle = self.path.open("a")
         self._handle.write(record.to_json() + "\n")
         self._handle.flush()
+        os.fsync(self._handle.fileno())
 
     def close(self) -> None:
         if self._handle is not None:

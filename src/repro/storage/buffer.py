@@ -22,19 +22,26 @@ RANDOM policy are provided so that finding can be checked (see
 from __future__ import annotations
 
 import random
+import time
 from abc import ABC, abstractmethod
 from collections import OrderedDict
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
+from repro.chaos.faults import FaultKind, FaultPlan, active_plan
 from repro.errors import (
     BufferPoolError,
     BufferPoolExhaustedError,
     ConfigurationError,
+    CorruptPageReadError,
     PageNotPinnedError,
 )
 from repro.obs.spans import SpanRecorder, span
 from repro.storage.iostats import IoStats
 from repro.storage.page import PageId, PageKind
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids import cycle)
+    from repro.chaos.audit import InvariantAuditor
 
 
 class ReplacementPolicy(ABC):
@@ -241,6 +248,18 @@ class BufferPool:
         the physical read and write paths are timed under ``pool.read``
         and ``pool.write`` spans.  Costs one ``None`` check when absent
         and never changes any counter.
+    auditor:
+        Optional :class:`~repro.chaos.audit.InvariantAuditor`; in
+        strict mode the pool re-verifies its residency and pin
+        accounting after every eviction.  Pure observer: never issues
+        a page request or changes a counter.
+
+    Chaos: when a process-wide :class:`~repro.chaos.faults.FaultPlan`
+    is armed, the physical-read path is a fault site (corrupt reads,
+    eviction storms, latency spikes).  The check lives on the *miss*
+    path only, so the hit path -- the hot path of every experiment --
+    is exactly as before, and with no plan armed a miss costs one
+    ``None`` comparison.
     """
 
     def __init__(
@@ -249,6 +268,7 @@ class BufferPool:
         stats: IoStats | None = None,
         policy: str | ReplacementPolicy = "lru",
         recorder: SpanRecorder | None = None,
+        auditor: "InvariantAuditor | None" = None,
     ) -> None:
         if capacity <= 0:
             raise ConfigurationError(f"buffer pool capacity must be positive, got {capacity}")
@@ -256,6 +276,7 @@ class BufferPool:
         self.stats = stats if stats is not None else IoStats()
         self._policy = policy if isinstance(policy, ReplacementPolicy) else make_policy(policy)
         self._recorder = recorder
+        self._auditor = auditor
         self._frames: dict[PageId, _Frame] = {}
         self._pinned: set[PageId] = set()
 
@@ -293,13 +314,22 @@ class BufferPool:
             frame.dirty = frame.dirty or dirty
             return True
 
-        self.stats.record_request(page.kind, hit=False)
+        plan = active_plan()
         with span("pool.read", self._recorder):
+            if plan is not None:
+                self._inject_read_faults(plan, page, pre_admit=True)
             if len(self._frames) >= self.capacity:
                 self._evict_one()
+            # Counted only once the page is actually served: when every
+            # frame is pinned the eviction above raises and Hybrid
+            # reblocks and retries, and an aborted attempt must not
+            # break the requests = hits + reads identity.
+            self.stats.record_request(page.kind, hit=False)
             self.stats.record_read(page.kind)
             self._frames[page] = _Frame(page, dirty=dirty)
             self._policy.note_admit(page)
+            if plan is not None:
+                self._inject_read_faults(plan, page, pre_admit=False)
         return False
 
     def create(self, page: PageId) -> None:
@@ -378,7 +408,45 @@ class BufferPool:
                 self._record_write(frame.page.kind)
             frame.dirty = False
 
+    def storm_evict(self, limit: int | None = None) -> int:
+        """Evict up to ``limit`` unpinned resident pages (all by default).
+
+        The chaos plane's *eviction storm*: dirty victims charge their
+        writes and the working set must be re-read, so the damage is
+        visible in the counters while the computation stays correct --
+        the graceful-degradation property the harness verifies.
+        Returns the number of pages evicted.
+        """
+        evicted = 0
+        for page in list(self._frames):
+            if limit is not None and evicted >= limit:
+                break
+            frame = self._frames[page]
+            if frame.pin_count:
+                continue
+            self._drop(frame)
+            evicted += 1
+        return evicted
+
     # -- internals ---------------------------------------------------------
+
+    def _inject_read_faults(self, plan: FaultPlan, page: PageId, pre_admit: bool) -> None:
+        """Fault site: one physical page read (chaos plane, see class doc)."""
+        if pre_admit:
+            event = plan.fire(FaultKind.SLOW_IO)
+            if event is not None:
+                time.sleep(event.params.get("ms", 1.0) / 1000.0)
+            event = plan.fire(FaultKind.EVICT_STORM)
+            if event is not None:
+                limit = event.params.get("k")
+                self.storm_evict(None if limit is None else int(limit))
+        else:
+            event = plan.fire(FaultKind.CORRUPT_READ)
+            if event is not None:
+                raise CorruptPageReadError(
+                    f"injected checksum failure reading {page} "
+                    f"(chaos opportunity {event.opportunity})"
+                )
 
     def _record_write(self, kind: PageKind) -> None:
         with span("pool.write", self._recorder):
@@ -398,3 +466,5 @@ class BufferPool:
         del self._frames[frame.page]
         self._pinned.discard(frame.page)
         self._policy.note_evict(frame.page)
+        if self._auditor is not None:
+            self._auditor.after_evict(self)

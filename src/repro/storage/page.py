@@ -15,6 +15,8 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
+from repro.errors import ConfigurationError
+
 PAGE_SIZE = 2048
 """Size of a disk page in bytes."""
 
@@ -70,6 +72,36 @@ class PageId:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"PageId({self.kind.value}:{self.number})"
+
+
+ENTRY_SIZE = 4
+"""Size of one successor entry in bytes (a 4-byte node id)."""
+
+
+def validate_block_geometry(blocks_per_page: int, block_capacity: int) -> None:
+    """Check that a successor-page geometry physically fits a page.
+
+    The paper's layout is 30 blocks x 15 entries x 4 bytes = 1800 of
+    2048 bytes (the remainder is block headers).  A configuration whose
+    blocks cannot fit on one 2048-byte page would silently undercount
+    page I/O, so the successor store and the invariant auditor both
+    reject it up front.
+
+    Raises :class:`~repro.errors.ConfigurationError` (a ``ValueError``)
+    with the offending values.
+    """
+    if blocks_per_page <= 0 or block_capacity <= 0:
+        raise ConfigurationError(
+            "blocks_per_page and block_capacity must both be positive, got "
+            f"blocks_per_page={blocks_per_page}, block_capacity={block_capacity}"
+        )
+    payload = blocks_per_page * block_capacity * ENTRY_SIZE
+    if payload > PAGE_SIZE:
+        raise ConfigurationError(
+            f"successor-page geometry {blocks_per_page} blocks x "
+            f"{block_capacity} entries needs {payload} bytes, which does not "
+            f"fit a {PAGE_SIZE}-byte page"
+        )
 
 
 def pages_needed(entries: int, per_page: int) -> int:

@@ -29,9 +29,16 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, field
 
-from repro.errors import StorageError
+from repro.chaos.faults import FaultKind, active_plan
+from repro.errors import StorageError, TornWriteError
 from repro.storage.buffer import BufferPool
-from repro.storage.page import BLOCK_CAPACITY, BLOCKS_PER_PAGE, PageId, PageKind
+from repro.storage.page import (
+    BLOCK_CAPACITY,
+    BLOCKS_PER_PAGE,
+    PageId,
+    PageKind,
+    validate_block_geometry,
+)
 
 
 class ListPlacementPolicy(enum.Enum):
@@ -90,10 +97,7 @@ class SuccessorListStore:
         blocks_per_page: int = BLOCKS_PER_PAGE,
         block_capacity: int = BLOCK_CAPACITY,
     ) -> None:
-        if blocks_per_page <= 0 or block_capacity <= 0:
-            raise StorageError(
-                "blocks_per_page and block_capacity must both be positive"
-            )
+        validate_block_geometry(blocks_per_page, block_capacity)
         self.pool = pool
         self.kind = kind
         self.policy = policy
@@ -228,6 +232,7 @@ class SuccessorListStore:
         return layout
 
     def _extend(self, node: int, layout: _ListLayout, count: int) -> None:
+        plan = active_plan()
         remaining = count
         # Fill the tail block first.
         if layout.blocks:
@@ -235,17 +240,36 @@ class SuccessorListStore:
             room = self.block_capacity - tail[1]
             if room > 0:
                 take = min(room, remaining)
+                self._check_torn_write(plan, node, tail[0])
                 tail[1] += take
                 remaining -= take
                 self.pool.access(PageId(self.kind, tail[0]), dirty=True)
         while remaining > 0:
             page = self._page_for_new_block(node, layout)
+            self._check_torn_write(plan, node, page)
             take = min(self.block_capacity, remaining)
             layout.blocks.append([page, take])
             self._free_blocks[page] -= 1
             self._lists_on_page.setdefault(page, set()).add(node)
             remaining -= take
         layout.length += count
+
+    def _check_torn_write(self, plan, node: int, page: int) -> None:
+        """Fault site: one successor-block write (chaos plane).
+
+        The check sits *before* the layout mutation, so an injected
+        torn write leaves the store's accounting exactly as it was --
+        the injury is detected, not silently absorbed -- and a strict
+        audit after the failure still passes.
+        """
+        if plan is None:
+            return
+        event = plan.fire(FaultKind.TORN_WRITE)
+        if event is not None:
+            raise TornWriteError(
+                f"injected torn write of a successor block of node {node} on "
+                f"page {page} (chaos opportunity {event.opportunity})"
+            )
 
     def _page_for_new_block(self, node: int, layout: _ListLayout) -> int:
         """Pick the page for a list's next block, splitting if needed."""

@@ -22,10 +22,15 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, field
 
+from typing import TYPE_CHECKING
+
 from repro.obs.spans import SpanRecorder
 from repro.storage.buffer import BufferPool, ReplacementPolicy
 from repro.storage.iostats import IoStats
 from repro.storage.page import PageId, PageKind
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids import cycle)
+    from repro.chaos.audit import InvariantAuditor
 
 
 class TraceEvent(enum.Enum):
@@ -137,8 +142,10 @@ class TracedPool(BufferPool):
         stats: IoStats | None = None,
         policy: str | ReplacementPolicy = "lru",
         recorder: SpanRecorder | None = None,
+        auditor: "InvariantAuditor | None" = None,
     ) -> None:
-        super().__init__(capacity, stats=stats, policy=policy, recorder=recorder)
+        super().__init__(capacity, stats=stats, policy=policy, recorder=recorder,
+                         auditor=auditor)
         self.trace = trace
 
     def access(self, page: PageId, dirty: bool = False) -> bool:

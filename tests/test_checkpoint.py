@@ -1,0 +1,129 @@
+"""Tests for the sweep checkpoint journal and --resume."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.chaos.checkpoint import SweepJournal, cell_key
+from repro.experiments.run_all import main
+from repro.experiments.runner import AveragedMetrics
+from repro.obs.record import RunRecord
+
+
+def _metrics(total_io=100.0):
+    rest = {
+        f.name: 0.0
+        for f in dataclasses.fields(AveragedMetrics)
+        if f.name not in ("algorithm", "runs", "total_io")
+    }
+    return AveragedMetrics(algorithm="btc", runs=1, total_io=total_io, **rest)
+
+
+def _records():
+    return [RunRecord(algorithm="btc", workload={"family": "G1"},
+                      metrics={"total_io": 100})]
+
+
+class TestJournal:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "sweep.journal"
+        journal = SweepJournal(path)
+        journal.record("cell-a", _metrics(), _records())
+        assert "cell-a" in journal and len(journal) == 1
+
+        reloaded = SweepJournal(path)
+        assert reloaded.loaded == 1
+        metrics, records = reloaded.get("cell-a")
+        assert metrics == _metrics()
+        assert records == _records()
+
+    def test_record_is_idempotent(self, tmp_path):
+        path = tmp_path / "sweep.journal"
+        journal = SweepJournal(path)
+        journal.record("cell-a", _metrics(), _records())
+        journal.record("cell-a", _metrics(999.0), _records())
+        assert journal.appended == 1
+        assert SweepJournal(path).get("cell-a")[0] == _metrics()
+
+    def test_truncated_final_line_tolerated(self, tmp_path, capsys):
+        path = tmp_path / "sweep.journal"
+        journal = SweepJournal(path)
+        journal.record("cell-a", _metrics(), _records())
+        journal.record("cell-b", _metrics(), _records())
+        # Simulate a kill mid-append: cut the last line in half.
+        lines = path.read_bytes().splitlines(keepends=True)
+        path.write_bytes(b"".join(lines[:-1]) + lines[-1][: len(lines[-1]) // 2])
+
+        survivor = SweepJournal(path)
+        assert "truncated" in capsys.readouterr().err
+        assert "cell-a" in survivor
+        assert "cell-b" not in survivor  # simply re-runs on resume
+
+    def test_mid_file_corruption_raises(self, tmp_path):
+        path = tmp_path / "sweep.journal"
+        journal = SweepJournal(path)
+        journal.record("cell-a", _metrics(), _records())
+        good = path.read_text()
+        path.write_text("garbage\n" + good)
+        with pytest.raises(ValueError, match="corrupt checkpoint line"):
+            SweepJournal(path)
+
+    def test_cell_key_is_canonical(self):
+        key = cell_key("btc", "G4", None, {"buffer_pages": 20}, {"name": "smoke"})
+        assert key == cell_key("btc", "G4", None, {"buffer_pages": 20},
+                               {"name": "smoke"})
+        assert json.loads(key)["algorithm"] == "btc"
+        assert key != cell_key("btc", "G4", 10, {"buffer_pages": 20},
+                               {"name": "smoke"})
+
+
+class TestResume:
+    """The acceptance path: kill a sweep, resume it, diff the bytes.
+
+    ``table2``/``figure6`` carry only deterministic counters (the same
+    selection the CI diff leg uses), so byte equality is exact.
+    """
+
+    ARGS = ["--profile", "smoke", "--only", "table2", "figure8"]
+    OUT = "experiments_output_smoke.txt"
+
+    def test_resumed_output_is_byte_identical(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        assert main(self.ARGS) == 0
+        reference = (tmp_path / self.OUT).read_bytes()
+
+        # "Kill" before the second experiment: journal only figure8's
+        # cells (table2 runs no algorithm cells, only graph statistics).
+        assert main(["--profile", "smoke", "--only", "figure8",
+                     "--resume", "sweep.journal", "--no-file"]) == 0
+        journaled = len(SweepJournal(tmp_path / "sweep.journal"))
+        assert journaled > 0
+
+        # ...then resume the full sweep against the same journal.
+        capsys.readouterr()
+        assert main([*self.ARGS, "--resume", "sweep.journal"]) == 0
+        assert (tmp_path / self.OUT).read_bytes() == reference
+        assert f"{journaled} cell(s) resumed" in capsys.readouterr().out
+
+    def test_journal_grows_only_with_fresh_cells(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["--profile", "smoke", "--only", "figure8",
+                     "--resume", "sweep.journal", "--no-file"]) == 0
+        size = (tmp_path / "sweep.journal").stat().st_size
+        assert main(["--profile", "smoke", "--only", "figure8",
+                     "--resume", "sweep.journal", "--no-file"]) == 0
+        assert (tmp_path / "sweep.journal").stat().st_size == size
+
+    def test_truncated_journal_still_resumes(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        assert main(self.ARGS) == 0
+        reference = (tmp_path / self.OUT).read_bytes()
+
+        assert main([*self.ARGS, "--resume", "sweep.journal", "--no-file"]) == 0
+        journal = tmp_path / "sweep.journal"
+        lines = journal.read_bytes().splitlines(keepends=True)
+        journal.write_bytes(b"".join(lines[:-1]) + lines[-1][: 40])
+
+        assert main([*self.ARGS, "--resume", "sweep.journal"]) == 0
+        assert (tmp_path / self.OUT).read_bytes() == reference

@@ -22,6 +22,36 @@ class TestValidation:
         with pytest.raises(ConfigurationError):
             generate_dag(10, 2, 0)
 
+    def test_non_integral_nodes_raises_with_value(self):
+        with pytest.raises(ConfigurationError, match="10.5"):
+            generate_dag(10.5, 2, 10)
+
+    def test_integral_float_nodes_accepted(self):
+        assert generate_dag(10.0, 2, 5, seed=0).num_nodes == 10
+
+    def test_bool_nodes_rejected(self):
+        with pytest.raises(ConfigurationError, match="True"):
+            generate_dag(True, 2, 10)
+
+    def test_non_numeric_degree_raises_with_value(self):
+        with pytest.raises(ConfigurationError, match="'five'"):
+            generate_dag(10, "five", 10)
+
+    def test_non_finite_degree_raises(self):
+        with pytest.raises(ConfigurationError, match="finite"):
+            generate_dag(10, float("nan"), 10)
+        with pytest.raises(ConfigurationError, match="finite"):
+            generate_dag(10, float("inf"), 10)
+
+    def test_non_integral_locality_raises_with_value(self):
+        with pytest.raises(ConfigurationError, match="2.5"):
+            generate_dag(10, 2, 2.5)
+
+    def test_configuration_error_is_value_error(self):
+        # Callers that guard with ``except ValueError`` keep working.
+        with pytest.raises(ValueError):
+            generate_dag(0, 2, 10)
+
 
 class TestStructure:
     def test_arcs_go_forward(self):

@@ -260,11 +260,19 @@ class TestCompare:
         report = compare_runs([_record()], [_record(total_io=200.0)])
         assert "REGRESSED" in report.render()
 
-    def test_load_rejects_garbage(self, tmp_path):
+    def test_load_rejects_mid_file_garbage(self, tmp_path):
         path = tmp_path / "bad.jsonl"
-        path.write_text("not json\n")
+        path.write_text("not json\n" + _record().to_json() + "\n")
         with pytest.raises(ValueError):
             load_records(path)
+
+    def test_load_tolerates_truncated_final_line(self, tmp_path, capsys):
+        path = tmp_path / "cut.jsonl"
+        whole = _record().to_json()
+        path.write_text(whole + "\n" + whole[: len(whole) // 2])
+        records = load_records(path)
+        assert len(records) == 1
+        assert "truncated final" in capsys.readouterr().err
 
 
 class TestBenchSummary:
