@@ -116,6 +116,7 @@ def transitive_closure(
     algorithm: str = "auto",
     buffer_pages: int = 20,
     system: SystemConfig | None = None,
+    engine: str = "fast",
 ) -> Closure:
     """Compute a full or partial transitive closure of any digraph.
 
@@ -132,6 +133,12 @@ def transitive_closure(
         :func:`choose_algorithm`.
     buffer_pages / system:
         Simulated system configuration (``system`` wins if given).
+    engine:
+        Storage engine name.  The API serves *answers*, not cost
+        curves, so it defaults to the in-memory ``"fast"`` engine;
+        pass ``"paged"`` (or a ``system`` config carrying an engine)
+        to charge the paper's page-I/O model.  An explicit ``system``
+        takes precedence.
 
     Cyclic inputs are handled by condensation: the closure is computed
     on the acyclic condensation and expanded back, so nodes on cycles
@@ -144,7 +151,7 @@ def transitive_closure(
     elif arcs is not None:
         raise ConfigurationError("pass either a graph or arcs, not both")
 
-    system = system or SystemConfig(buffer_pages=buffer_pages)
+    system = system or SystemConfig(buffer_pages=buffer_pages, engine=engine)
     source_list = None if sources is None else list(dict.fromkeys(sources))
 
     if is_acyclic(graph):

@@ -30,11 +30,9 @@ from repro.core.query import Query, SystemConfig
 from repro.core.result import ClosureResult
 from repro.graphs.digraph import Digraph
 from repro.metrics.counters import MetricSet
-from repro.storage.buffer import BufferPool, make_policy
+from repro.storage.engine import ListStore, make_engine
 from repro.storage.iostats import Phase
-from repro.storage.page import PageId
-from repro.storage.relation import ArcRelation
-from repro.storage.successor_store import SuccessorListStore
+from repro.storage.page import PageId, PageKind
 
 
 class SchmitzAlgorithm:
@@ -52,19 +50,14 @@ class SchmitzAlgorithm:
         query = Query.full() if query is None else query
         system = SystemConfig() if system is None else system
         metrics = MetricSet()
-        pool = BufferPool(
-            system.buffer_pages,
-            stats=metrics.io,
-            policy=make_policy(system.page_policy, seed=system.policy_seed),
-        )
-        relation = ArcRelation(graph)
-        store = SuccessorListStore(pool, policy=system.list_policy)
+        engine = make_engine(system, graph, metrics=metrics)
+        store = engine.make_list_store(PageKind.SUCCESSOR, policy=system.list_policy)
         start = time.process_time()
 
         metrics.io.phase = Phase.RESTRUCTURE
         if query.is_full:
             roots = list(graph.nodes())
-            relation.scan(pool)
+            engine.scan_relation()
         else:
             roots = list(query.sources or ())
             # Arcs are fetched on first visit during the DFS below; the
@@ -87,7 +80,7 @@ class SchmitzAlgorithm:
         def children_of(node: int) -> list[int]:
             if not query.is_full and node not in fetched:
                 fetched.add(node)
-                relation.read_successors(node, pool)
+                engine.read_successors(node)
             return graph.successors(node)
 
         for root in roots:
@@ -156,7 +149,7 @@ class SchmitzAlgorithm:
         output_pages: set[PageId] = set()
         for node in output_nodes:
             output_pages.update(store.pages_of(component_of[node]))
-        pool.flush_selected(output_pages)
+        engine.flush_output(output_pages)
         metrics.distinct_tuples = sum(
             bits.bit_count() * len(component_members[comp])
             for comp, bits in component_sets.items()
@@ -179,7 +172,7 @@ class SchmitzAlgorithm:
         graph: Digraph,
         component_of: list[int],
         component_sets: dict[int, int],
-        store: SuccessorListStore,
+        store: ListStore,
         metrics: MetricSet,
     ) -> None:
         """Build the shared successor set of a finished component.
@@ -191,32 +184,46 @@ class SchmitzAlgorithm:
         bits = 0
         has_internal_arc = False
         seen_components: set[int] = set()
+        read_list = store.read_list
+        successors = graph.successors
+        # The per-arc counters accumulate in locals and fold into
+        # ``metrics`` once at the end -- the final totals (and every
+        # storage call, in the same order) are identical.
+        arcs_considered = arcs_marked = unions = 0
+        tuple_io = generated = duplicates = 0
         for member in members:
-            for child in graph.successors(member):
+            for child in successors(member):
                 child_comp = component_of[child]
                 if child_comp == comp_id:
                     has_internal_arc = True
                     continue
-                metrics.arcs_considered += 1
+                arcs_considered += 1
                 if child_comp in seen_components:
                     # The target component's set is here already; only
                     # the member arc's endpoint may be new.
-                    metrics.arcs_marked += 1
+                    arcs_marked += 1
                     bits |= 1 << child
                     continue
                 seen_components.add(child_comp)
-                metrics.list_unions += 1
-                metrics.list_reads += 1
-                store.read_list(child_comp)
-                child_bits = component_sets[child_comp] | (1 << child)
-                read = component_sets[child_comp].bit_count()
-                metrics.tuple_io += read
-                metrics.tuples_generated += read
+                unions += 1
+                read_list(child_comp)
+                comp_bits = component_sets[child_comp]
+                child_bits = comp_bits | (1 << child)
+                read = comp_bits.bit_count()
+                tuple_io += read
+                generated += read
                 added = (child_bits & ~bits).bit_count()
-                metrics.duplicates += read - min(read, added)
+                duplicates += read - min(read, added)
                 bits |= child_bits
         if len(members) > 1 or has_internal_arc:
             for member in members:
                 bits |= 1 << member
         component_sets[comp_id] = bits
         store.create_list(comp_id, bits.bit_count())
+        metrics.arcs_considered += arcs_considered
+        metrics.arcs_marked += arcs_marked
+        metrics.list_unions += unions
+        metrics.list_reads += unions
+        metrics.tuple_io += tuple_io
+        metrics.tuples_generated += generated
+        metrics.duplicates += duplicates

@@ -22,11 +22,9 @@ from repro.core.query import Query, SystemConfig
 from repro.core.result import ClosureResult
 from repro.graphs.digraph import Digraph
 from repro.metrics.counters import MetricSet
-from repro.storage.buffer import BufferPool, make_policy
+from repro.storage.engine import CAP_PAGE_COSTS, StorageEngine, make_engine
 from repro.storage.iostats import Phase
 from repro.storage.page import PageId, PageKind
-from repro.storage.relation import ArcRelation
-from repro.storage.successor_store import SuccessorListStore
 
 
 class SeminaiveAlgorithm:
@@ -44,19 +42,14 @@ class SeminaiveAlgorithm:
         query = Query.full() if query is None else query
         system = SystemConfig() if system is None else system
         metrics = MetricSet()
-        pool = BufferPool(
-            system.buffer_pages,
-            stats=metrics.io,
-            policy=make_policy(system.page_policy, seed=system.policy_seed),
-        )
-        relation = ArcRelation(graph)
-        store = SuccessorListStore(pool, policy=system.list_policy)
+        engine = make_engine(system, graph, metrics=metrics)
+        store = engine.make_list_store(PageKind.SUCCESSOR, policy=system.list_policy)
         start = time.process_time()
         metrics.io.phase = Phase.COMPUTE
 
         if query.is_full:
             rows: list[int] = list(graph.nodes())
-            relation.scan(pool)
+            engine.scan_relation()
         else:
             rows = list(query.sources or ())
 
@@ -66,7 +59,7 @@ class SeminaiveAlgorithm:
         for row in rows:
             bits = 0
             if not query.is_full:
-                relation.read_successors(row, pool)
+                engine.read_successors(row)
             for child in graph.successors(row):
                 bits |= 1 << child
             closure[row] = bits
@@ -74,13 +67,19 @@ class SeminaiveAlgorithm:
             delta_tuples += bits.bit_count()
             store.create_list(row, bits.bit_count())
             metrics.tuples_generated += bits.bit_count()
-        delta_page_counter = self._spool_delta(pool, metrics, 0, delta_tuples)
+        delta_page_counter = self._spool_delta(engine, 0, delta_tuples)
 
+        # The join counters accumulate in locals and fold into
+        # ``metrics`` once after the loop -- the final totals (and
+        # every storage call, in the same order) are identical.
+        read_list = store.read_list
+        append = store.append
+        tuple_io = tuples_generated = duplicates = list_reads = 0
         iterations = 0
         while delta:
             iterations += 1
             # The delta is a materialised relation: scan it.
-            self._scan_delta(pool, delta_page_counter, delta_tuples)
+            self._scan_delta(engine, delta_page_counter, delta_tuples)
             # Join the delta with the arc relation: fetch the successor
             # list of every distinct join value once per iteration.
             join_values: set[int] = set()
@@ -92,8 +91,8 @@ class SeminaiveAlgorithm:
                     value ^= low
             expansions: dict[int, int] = {}
             for y in sorted(join_values):
-                successors = relation.read_successors(y, pool)
-                metrics.tuple_io += len(successors)
+                successors = engine.read_successors(y)
+                tuple_io += len(successors)
                 bits = 0
                 for child in successors:
                     bits |= 1 << child
@@ -109,33 +108,39 @@ class SeminaiveAlgorithm:
                     derived |= expansions[low.bit_length() - 1]
                     value ^= low
                 derived_count = derived.bit_count()
-                metrics.tuples_generated += derived_count
+                tuples_generated += derived_count
                 fresh = derived & ~closure[row]
-                metrics.duplicates += derived_count - fresh.bit_count()
+                fresh_count = fresh.bit_count()
+                duplicates += derived_count - fresh_count
                 if derived:
                     # Duplicate elimination merges the derived tuples
                     # with the row's stored result list.
-                    metrics.list_reads += 1
-                    store.read_list(row)
+                    list_reads += 1
+                    read_list(row)
                 if fresh:
                     closure[row] |= fresh
                     new_delta[row] = fresh
-                    new_delta_tuples += fresh.bit_count()
-                    store.append(row, fresh.bit_count())
+                    new_delta_tuples += fresh_count
+                    append(row, fresh_count)
             # Spool the new delta relation to disk for the next round.
             delta_page_counter = self._spool_delta(
-                pool, metrics, delta_page_counter, new_delta_tuples
+                engine, delta_page_counter, new_delta_tuples
             )
             delta = new_delta
             delta_tuples = new_delta_tuples
         self.iterations = iterations
+        metrics.tuple_io += tuple_io
+        metrics.tuples_generated += tuples_generated
+        metrics.duplicates += duplicates
+        metrics.list_reads += list_reads
 
         metrics.io.phase = Phase.WRITEOUT
         output_pages: set[PageId] = set()
-        for row in rows:
-            output_pages.update(store.pages_of(row))
-        pool.flush_selected(output_pages)
-        metrics.distinct_tuples = sum(bits.bit_count() for bits in closure.values())
+        if engine.supports(CAP_PAGE_COSTS):
+            for row in rows:
+                output_pages.update(store.pages_of(row))
+        engine.flush_output(output_pages)
+        metrics.distinct_tuples = sum(map(int.bit_count, closure.values()))
         metrics.output_tuples = metrics.distinct_tuples
         metrics.cpu_seconds = time.process_time() - start
 
@@ -148,7 +153,7 @@ class SeminaiveAlgorithm:
         )
 
     @staticmethod
-    def _spool_delta(pool: BufferPool, metrics: MetricSet, first_page: int, tuples: int) -> int:
+    def _spool_delta(engine: StorageEngine, first_page: int, tuples: int) -> int:
         """Write a fresh delta relation (256 tuples/page) to disk.
 
         Returns the first page number of the spooled delta, which the
@@ -159,14 +164,14 @@ class SeminaiveAlgorithm:
 
         num_pages = pages_needed(tuples, TUPLES_PER_PAGE)
         for offset in range(num_pages):
-            pool.create(PageId(PageKind.DELTA, first_page + offset))
+            engine.create_page(PageKind.DELTA, first_page + offset)
         return first_page + num_pages
 
     @staticmethod
-    def _scan_delta(pool: BufferPool, end_page: int, tuples: int) -> None:
+    def _scan_delta(engine: StorageEngine, end_page: int, tuples: int) -> None:
         """Sequentially read the current delta relation."""
         from repro.storage.page import TUPLES_PER_PAGE, pages_needed
 
         num_pages = pages_needed(tuples, TUPLES_PER_PAGE)
         for offset in range(num_pages):
-            pool.access(PageId(PageKind.DELTA, end_page - num_pages + offset))
+            engine.touch_page(PageKind.DELTA, end_page - num_pages + offset)

@@ -23,11 +23,9 @@ from repro.core.query import Query, SystemConfig
 from repro.core.result import ClosureResult
 from repro.graphs.digraph import Digraph
 from repro.metrics.counters import MetricSet
-from repro.storage.buffer import BufferPool, make_policy
+from repro.storage.engine import CAP_PAGE_COSTS, StorageEngine, make_engine
 from repro.storage.iostats import Phase
 from repro.storage.page import TUPLES_PER_PAGE, PageId, PageKind, pages_needed
-from repro.storage.relation import ArcRelation
-from repro.storage.successor_store import SuccessorListStore
 
 
 class SmartAlgorithm:
@@ -45,23 +43,18 @@ class SmartAlgorithm:
         query = Query.full() if query is None else query
         system = SystemConfig() if system is None else system
         metrics = MetricSet()
-        pool = BufferPool(
-            system.buffer_pages,
-            stats=metrics.io,
-            policy=make_policy(system.page_policy, seed=system.policy_seed),
-        )
-        relation = ArcRelation(graph)
-        store = SuccessorListStore(pool, policy=system.list_policy)
+        engine = make_engine(system, graph, metrics=metrics)
+        store = engine.make_list_store(PageKind.SUCCESSOR, policy=system.list_policy)
         start = time.process_time()
         metrics.io.phase = Phase.COMPUTE
 
         if query.is_full:
             rows = list(graph.nodes())
-            relation.scan(pool)
+            engine.scan_relation()
         else:
             rows = list(query.sources or ())
             for row in rows:
-                relation.read_successors(row, pool)
+                engine.read_successors(row)
 
         # closure[row] holds all successors found so far; delta[row]
         # the paths first discovered in the previous round.  To answer
@@ -81,52 +74,63 @@ class SmartAlgorithm:
             delta_tuples += bits.bit_count()
             store.create_list(node, bits.bit_count())
             metrics.tuples_generated += bits.bit_count()
-        delta_pages_end = self._spool(pool, 0, delta_tuples)
+        delta_pages_end = self._spool(engine, 0, delta_tuples)
 
+        # The join counters accumulate in locals and fold into
+        # ``metrics`` once after the loop -- the final totals (and
+        # every storage call, in the same order) are identical.
+        read_list = store.read_list
+        append = store.append
+        list_reads = tuples_generated = duplicates = 0
         iterations = 0
         while any(delta.values()):
             iterations += 1
-            self._scan(pool, delta_pages_end, delta_tuples)
+            self._scan(engine, delta_pages_end, delta_tuples)
             new_delta = {}
             new_delta_tuples = 0
             for node in all_rows:
-                bits = delta[node]
                 derived = 0
                 # Join the delta with the accumulated closure: paths of
                 # length <= 2^k extended by paths of length <= 2^k.
-                value = bits
+                value = delta[node]
                 while value:
                     low = value & -value
                     middle = low.bit_length() - 1
                     value ^= low
-                    if closure[middle]:
-                        metrics.list_reads += 1
-                        store.read_list(middle)
-                        derived |= closure[middle]
+                    middle_closure = closure[middle]
+                    if middle_closure:
+                        list_reads += 1
+                        read_list(middle)
+                        derived |= middle_closure
                 derived_count = derived.bit_count()
-                metrics.tuples_generated += derived_count
+                tuples_generated += derived_count
                 fresh = derived & ~closure[node]
-                metrics.duplicates += derived_count - fresh.bit_count()
+                fresh_count = fresh.bit_count()
+                duplicates += derived_count - fresh_count
                 if derived:
-                    store.read_list(node)  # duplicate-elimination merge
+                    read_list(node)  # duplicate-elimination merge
                 if fresh:
                     closure[node] |= fresh
                     new_delta[node] = fresh
-                    new_delta_tuples += fresh.bit_count()
-                    store.append(node, fresh.bit_count())
+                    new_delta_tuples += fresh_count
+                    append(node, fresh_count)
                 else:
                     new_delta[node] = 0
             delta = new_delta
             delta_tuples = new_delta_tuples
-            delta_pages_end = self._spool(pool, delta_pages_end, delta_tuples)
+            delta_pages_end = self._spool(engine, delta_pages_end, delta_tuples)
         self.iterations = iterations
+        metrics.list_reads += list_reads
+        metrics.tuples_generated += tuples_generated
+        metrics.duplicates += duplicates
 
         metrics.io.phase = Phase.WRITEOUT
         output_pages: set[PageId] = set()
-        for row in rows:
-            output_pages.update(store.pages_of(row))
-        pool.flush_selected(output_pages)
-        metrics.distinct_tuples = sum(bits.bit_count() for bits in closure.values())
+        if engine.supports(CAP_PAGE_COSTS):
+            for row in rows:
+                output_pages.update(store.pages_of(row))
+        engine.flush_output(output_pages)
+        metrics.distinct_tuples = sum(map(int.bit_count, closure.values()))
         metrics.output_tuples = sum(closure[row].bit_count() for row in rows)
         metrics.cpu_seconds = time.process_time() - start
 
@@ -139,14 +143,14 @@ class SmartAlgorithm:
         )
 
     @staticmethod
-    def _spool(pool: BufferPool, first_page: int, tuples: int) -> int:
+    def _spool(engine: StorageEngine, first_page: int, tuples: int) -> int:
         num_pages = pages_needed(tuples, TUPLES_PER_PAGE)
         for offset in range(num_pages):
-            pool.create(PageId(PageKind.DELTA, first_page + offset))
+            engine.create_page(PageKind.DELTA, first_page + offset)
         return first_page + num_pages
 
     @staticmethod
-    def _scan(pool: BufferPool, end_page: int, tuples: int) -> None:
+    def _scan(engine: StorageEngine, end_page: int, tuples: int) -> None:
         num_pages = pages_needed(tuples, TUPLES_PER_PAGE)
         for offset in range(num_pages):
-            pool.access(PageId(PageKind.DELTA, end_page - num_pages + offset))
+            engine.touch_page(PageKind.DELTA, end_page - num_pages + offset)

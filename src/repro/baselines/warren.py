@@ -34,10 +34,9 @@ from repro.core.query import Query, SystemConfig
 from repro.core.result import ClosureResult
 from repro.graphs.digraph import Digraph
 from repro.metrics.counters import MetricSet
-from repro.storage.buffer import BufferPool, make_policy
+from repro.storage.engine import CAP_PAGE_COSTS, make_engine
 from repro.storage.iostats import Phase
 from repro.storage.page import PAGE_SIZE, PageId, PageKind
-from repro.storage.relation import ArcRelation
 
 
 class WarrenAlgorithm:
@@ -55,11 +54,7 @@ class WarrenAlgorithm:
         query = Query.full() if query is None else query
         system = SystemConfig() if system is None else system
         metrics = MetricSet()
-        pool = BufferPool(
-            system.buffer_pages,
-            stats=metrics.io,
-            policy=make_policy(system.page_policy, seed=system.policy_seed),
-        )
+        engine = make_engine(system, graph, metrics=metrics)
         n = graph.num_nodes
         rows_per_page = max(1, (PAGE_SIZE * 8) // max(1, n))
         start = time.process_time()
@@ -67,55 +62,74 @@ class WarrenAlgorithm:
         def row_page(row: int) -> PageId:
             return PageId(PageKind.SUCCESSOR, row // rows_per_page)
 
+        # Engines without a page-cost model skip the per-bit row touches
+        # of the inner loop entirely (they would be pure overhead).
+        charged = engine.supports(CAP_PAGE_COSTS)
+
+        def touch_row(row: int, dirty: bool = False) -> None:
+            engine.touch_page(PageKind.SUCCESSOR, row // rows_per_page, dirty=dirty)
+
         # Load phase: build the matrix from a relation scan.
         metrics.io.phase = Phase.RESTRUCTURE
-        ArcRelation(graph).scan(pool)
+        engine.scan_relation()
         matrix = [0] * n
         for src, dst in graph.arcs():
             matrix[src] |= 1 << dst
-        for row in range(n):
-            pool.access(row_page(row), dirty=True)
+        if charged:
+            for row in range(n):
+                touch_row(row, dirty=True)
 
-        # Warren's two passes.
+        # Warren's two passes.  The union counters accumulate in locals
+        # and fold into ``metrics`` once after both passes -- the final
+        # totals are identical, nothing reads them mid-compute.
         metrics.io.phase = Phase.COMPUTE
+        list_unions = tuples_generated = duplicates = 0
         for below_diagonal in (True, False):
             for i in range(n):
-                pool.access(row_page(i))
+                if charged:
+                    touch_row(i)
                 # Warren scans j in increasing order over the *current*
                 # row: bits set by earlier unions in the same scan are
                 # picked up when the scan reaches them, bits at or
                 # before the current j are never revisited.
+                if below_diagonal:
+                    region_mask = (1 << i) - 1  # j < i
+                else:
+                    region_mask = -1 << (i + 1)  # j > i
                 scanned = 0  # mask of positions <= current j
+                row_i = matrix[i]
                 while True:
-                    if below_diagonal:
-                        region = matrix[i] & ((1 << i) - 1)  # j < i
-                    else:
-                        region = (matrix[i] >> (i + 1)) << (i + 1)  # j > i
-                    remaining = region & ~scanned
+                    remaining = row_i & region_mask & ~scanned
                     if not remaining:
                         break
                     low = remaining & -remaining
                     j = low.bit_length() - 1
                     scanned |= (low << 1) - 1
-                    pool.access(row_page(j))
-                    before = matrix[i]
-                    metrics.list_unions += 1
-                    metrics.tuples_generated += matrix[j].bit_count()
-                    matrix[i] = before | matrix[j]
-                    added = (matrix[i] & ~before).bit_count()
-                    metrics.duplicates += matrix[j].bit_count() - added
-                    if added:
-                        pool.access(row_page(i), dirty=True)
+                    if charged:
+                        touch_row(j)
+                    row_j = matrix[j]
+                    row_j_count = row_j.bit_count()
+                    list_unions += 1
+                    tuples_generated += row_j_count
+                    merged = row_i | row_j
+                    added = (merged & ~row_i).bit_count()
+                    duplicates += row_j_count - added
+                    row_i = matrix[i] = merged
+                    if added and charged:
+                        touch_row(i, dirty=True)
+        metrics.list_unions += list_unions
+        metrics.tuples_generated += tuples_generated
+        metrics.duplicates += duplicates
 
         metrics.io.phase = Phase.WRITEOUT
         if query.is_full:
             output_rows = list(range(n))
         else:
             output_rows = list(query.sources or ())
-        output_pages = {row_page(row) for row in output_rows}
-        pool.flush_selected(output_pages)
+        output_pages = {row_page(row) for row in output_rows} if charged else set()
+        engine.flush_output(output_pages)
 
-        metrics.distinct_tuples = sum(bits.bit_count() for bits in matrix)
+        metrics.distinct_tuples = sum(map(int.bit_count, matrix))
         metrics.output_tuples = sum(matrix[row].bit_count() for row in output_rows)
         metrics.cpu_seconds = time.process_time() - start
 

@@ -19,10 +19,9 @@ from repro.core.query import Query, SystemConfig
 from repro.core.result import ClosureResult
 from repro.graphs.digraph import Digraph
 from repro.metrics.counters import MetricSet
-from repro.storage.buffer import BufferPool, make_policy
+from repro.storage.engine import CAP_PAGE_COSTS, make_engine
 from repro.storage.iostats import Phase
 from repro.storage.page import PAGE_SIZE, PageId, PageKind
-from repro.storage.relation import ArcRelation
 
 
 class WarshallAlgorithm:
@@ -40,11 +39,7 @@ class WarshallAlgorithm:
         query = Query.full() if query is None else query
         system = SystemConfig() if system is None else system
         metrics = MetricSet()
-        pool = BufferPool(
-            system.buffer_pages,
-            stats=metrics.io,
-            policy=make_policy(system.page_policy, seed=system.policy_seed),
-        )
+        engine = make_engine(system, graph, metrics=metrics)
         n = graph.num_nodes
         rows_per_page = max(1, (PAGE_SIZE * 8) // max(1, n))
         start = time.process_time()
@@ -52,36 +47,55 @@ class WarshallAlgorithm:
         def row_page(row: int) -> PageId:
             return PageId(PageKind.SUCCESSOR, row // rows_per_page)
 
+        # Engines without a page-cost model skip the per-bit row touches
+        # of the inner loop entirely (they would be pure overhead).
+        charged = engine.supports(CAP_PAGE_COSTS)
+
+        def touch_row(row: int, dirty: bool = False) -> None:
+            engine.touch_page(PageKind.SUCCESSOR, row // rows_per_page, dirty=dirty)
+
         metrics.io.phase = Phase.RESTRUCTURE
-        ArcRelation(graph).scan(pool)
+        engine.scan_relation()
         matrix = [0] * n
         column = [0] * n  # column[k] = bitset of rows with M[i][k] set
         for src, dst in graph.arcs():
             matrix[src] |= 1 << dst
             column[dst] |= 1 << src
-        for row in range(n):
-            pool.access(row_page(row), dirty=True)
+        if charged:
+            for row in range(n):
+                touch_row(row, dirty=True)
 
+        # The union counters accumulate in locals and fold into
+        # ``metrics`` once after the pivot loop -- the final totals are
+        # identical, nothing reads them mid-compute.
         metrics.io.phase = Phase.COMPUTE
+        list_unions = tuples_generated = duplicates = 0
         for pivot in range(n):
             feeders = column[pivot] & ~(1 << pivot)
-            if not feeders or not matrix[pivot]:
+            pivot_row = matrix[pivot]
+            if not feeders or not pivot_row:
                 continue
-            pool.access(row_page(pivot))
+            if charged:
+                touch_row(pivot)
+            # matrix[pivot] cannot change while its feeders are
+            # processed (the pivot itself is masked out above).
+            pivot_count = pivot_row.bit_count()
             while feeders:
                 low = feeders & -feeders
                 row = low.bit_length() - 1
                 feeders ^= low
-                pool.access(row_page(row))
+                if charged:
+                    touch_row(row)
                 before = matrix[row]
-                metrics.list_unions += 1
-                metrics.tuples_generated += matrix[pivot].bit_count()
-                after = before | matrix[pivot]
+                list_unions += 1
+                tuples_generated += pivot_count
+                after = before | pivot_row
                 fresh = after & ~before
-                metrics.duplicates += matrix[pivot].bit_count() - fresh.bit_count()
+                duplicates += pivot_count - fresh.bit_count()
                 if fresh:
                     matrix[row] = after
-                    pool.access(row_page(row), dirty=True)
+                    if charged:
+                        touch_row(row, dirty=True)
                     # Track new column memberships for later pivots.
                     value = fresh
                     while value:
@@ -89,14 +103,18 @@ class WarshallAlgorithm:
                         column[bit.bit_length() - 1] |= 1 << row
                         value ^= bit
 
+        metrics.list_unions += list_unions
+        metrics.tuples_generated += tuples_generated
+        metrics.duplicates += duplicates
+
         metrics.io.phase = Phase.WRITEOUT
         if query.is_full:
             output_rows = list(range(n))
         else:
             output_rows = list(dict.fromkeys(query.sources or ()))
-        output_pages = {row_page(row) for row in output_rows}
-        pool.flush_selected(output_pages)
-        metrics.distinct_tuples = sum(bits.bit_count() for bits in matrix)
+        output_pages = {row_page(row) for row in output_rows} if charged else set()
+        engine.flush_output(output_pages)
+        metrics.distinct_tuples = sum(map(int.bit_count, matrix))
         metrics.output_tuples = sum(matrix[row].bit_count() for row in output_rows)
         metrics.cpu_seconds = time.process_time() - start
 

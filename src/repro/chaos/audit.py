@@ -54,6 +54,20 @@ def audit_mode() -> str:
     return value if value in AUDIT_MODES else "cheap"
 
 
+def explicit_audit_mode() -> str | None:
+    """The audit mode the user *asked for*, or None if defaulted.
+
+    ``audit_mode()`` falls back to "cheap" when nothing was requested;
+    engines without audit support (see :mod:`repro.storage.fast`) must
+    distinguish that implicit default (degrade to counter-only checks)
+    from an explicit ``--audit``/``REPRO_AUDIT`` request (refuse).
+    """
+    if _mode is not None:
+        return _mode
+    value = os.environ.get(ENV_AUDIT, "").strip().lower()
+    return value if value in AUDIT_MODES else None
+
+
 def set_audit_mode(mode: str | None) -> str | None:
     """Set (or clear, with ``None``) the process-wide audit mode."""
     global _mode
@@ -234,10 +248,13 @@ class InvariantAuditor:
     # -- whole-run audit -----------------------------------------------------
 
     def audit_run(self, ctx: "ExecutionContext") -> None:
-        """The end-of-run sweep: every substrate invariant, once."""
+        """The end-of-run sweep: counters, then the engine's substrate.
+
+        The substrate checks are dispatched through the storage
+        engine's capability hook (:meth:`StorageEngine.audit`): the
+        paged engine hands over its pool, store and relations; the fast
+        engine has no substrate and contributes nothing beyond the
+        counter identities.
+        """
         self.check_counters(ctx.metrics.io)
-        self.check_pool(ctx.pool)
-        self.check_store(ctx.store)
-        self.check_relation(ctx.relation)
-        if ctx.inverse_relation is not None:
-            self.check_relation(ctx.inverse_relation)
+        ctx.engine.audit(self)

@@ -43,6 +43,7 @@ from repro.obs.compare import compare_runs
 from repro.obs.record import RunRecord, summarise_trace
 from repro.obs.sink import JsonlSink
 from repro.obs.spans import SpanRecorder
+from repro.storage.engine import ENGINE_NAMES
 from repro.storage.trace import PageTrace
 
 
@@ -94,6 +95,11 @@ def _add_system_args(parser: argparse.ArgumentParser) -> None:
                         choices=["lru", "mru", "fifo", "clock", "random"])
     system.add_argument("--ilimit", type=float, default=0.2,
                         help="Hybrid diagonal-block ratio (default 0.2)")
+    system.add_argument("--engine", default=None, choices=list(ENGINE_NAMES),
+                        help="storage engine: 'paged' simulates the paper's "
+                        "substrate and charges page I/O; 'fast' runs in memory "
+                        "with identical closures and zero page costs "
+                        "(default: REPRO_ENGINE or 'paged')")
 
 
 def _system_config(args: argparse.Namespace) -> SystemConfig:
@@ -101,6 +107,7 @@ def _system_config(args: argparse.Namespace) -> SystemConfig:
         buffer_pages=args.buffer_pages,
         page_policy=args.page_policy,
         ilimit=args.ilimit,
+        engine=args.engine or "",
     )
 
 

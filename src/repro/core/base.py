@@ -16,6 +16,11 @@ The Search algorithm overrides the split (Section 4.1: its extended
 preprocessing does all the work and the computation phase is empty),
 and BJ inserts the single-parent reduction between scope identification
 and sorting.
+
+All storage access flows through the context's
+:class:`~repro.storage.engine.StorageEngine` -- the paged simulated
+substrate or the in-memory fast backend -- so the framework never
+touches a buffer pool or relation directly.
 """
 
 from __future__ import annotations
@@ -29,6 +34,7 @@ from repro.core.result import ClosureResult
 from repro.errors import CyclicGraphError, InvalidNodeError
 from repro.graphs.digraph import Digraph
 from repro.obs.spans import SpanRecorder, span
+from repro.storage.engine import CAP_PAGE_COSTS
 from repro.storage.iostats import Phase
 from repro.storage.page import PageId
 from repro.storage.trace import PageTrace
@@ -42,18 +48,24 @@ def topological_sort_map(adjacency: dict[int, list[int]]) -> list[int]:
     graph, so BJ's single-parent reduction is honoured.
     """
     WHITE, GRAY, BLACK = 0, 1, 2
-    color = {node: WHITE for node in adjacency}
+    color = dict.fromkeys(adjacency, WHITE)
     postorder: list[int] = []
+    postorder_append = postorder.append
     for root in sorted(adjacency):
         if color[root] != WHITE:
             continue
-        stack: list[tuple[int, int]] = [(root, 0)]
+        # Each frame: [node, next_child_index] (mutable, so descending
+        # does not reallocate the frame).
+        stack = [[root, 0]]
         color[root] = GRAY
         while stack:
-            node, child_index = stack[-1]
+            frame = stack[-1]
+            node = frame[0]
+            child_index = frame[1]
             children = adjacency[node]
+            n_children = len(children)
             advanced = False
-            while child_index < len(children):
+            while child_index < n_children:
                 child = children[child_index]
                 child_index += 1
                 state = color[child]
@@ -62,8 +74,8 @@ def topological_sort_map(adjacency: dict[int, list[int]]) -> list[int]:
                         f"cycle detected through arc ({node}, {child})"
                     )
                 if state == WHITE:
-                    stack[-1] = (node, child_index)
-                    stack.append((child, 0))
+                    frame[1] = child_index
+                    stack.append([child, 0])
                     color[child] = GRAY
                     advanced = True
                     break
@@ -71,7 +83,7 @@ def topological_sort_map(adjacency: dict[int, list[int]]) -> list[int]:
                 continue
             stack.pop()
             color[node] = BLACK
-            postorder.append(node)
+            postorder_append(node)
     postorder.reverse()
     return postorder
 
@@ -159,9 +171,9 @@ class TwoPhaseAlgorithm(ABC):
         """
         graph, query = ctx.graph, ctx.query
         if query.is_full:
-            ctx.relation.scan(ctx.pool)
+            ctx.engine.scan_relation()
             ctx.in_scope = set(graph.nodes())
-            ctx.adjacency = {node: list(graph.successors(node)) for node in graph.nodes()}
+            ctx.adjacency = graph.adjacency_lists()
             ctx.metrics.tuple_io += graph.num_arcs
             return
 
@@ -173,7 +185,7 @@ class TwoPhaseAlgorithm(ABC):
             if node in seen:
                 continue
             seen.add(node)
-            children = ctx.relation.read_successors(node, ctx.pool)
+            children = ctx.engine.read_successors(node)
             ctx.metrics.tuple_io += len(children)
             # Children of a reachable node are reachable, so the whole
             # successor list stays in the magic graph.
@@ -186,14 +198,15 @@ class TwoPhaseAlgorithm(ABC):
 
     def sort_and_profile(self, ctx: ExecutionContext) -> None:
         """Topologically sort the scope and collect the rectangle model."""
-        order = topological_sort_map(ctx.adjacency)
+        adjacency = ctx.adjacency
+        order = topological_sort_map(adjacency)
         ctx.topo_order = order
         ctx.position = {node: index for index, node in enumerate(order)}
 
         levels: dict[int, int] = {}
         for node in reversed(order):
             best = 0
-            for child in ctx.adjacency[node]:
+            for child in adjacency[node]:
                 child_level = levels[child]
                 if child_level > best:
                     best = child_level
@@ -201,7 +214,11 @@ class TwoPhaseAlgorithm(ABC):
         ctx.levels = levels
 
         num_nodes = len(order)
-        num_arcs = sum(len(children) for children in ctx.adjacency.values())
+        num_arcs = sum(map(len, adjacency.values()))
+        # The adjacency is final from here on (BJ's reduction and the
+        # search preprocessing both rewrite it *before* sorting), so the
+        # result assembly can reuse the arc count instead of re-summing.
+        ctx.num_magic_arcs = num_arcs
         total_level = sum(levels.values())
         ctx.height = total_level / num_nodes if num_nodes else 0.0
         ctx.width = num_arcs / ctx.height if ctx.height else 0.0
@@ -214,14 +231,18 @@ class TwoPhaseAlgorithm(ABC):
         computation phase expands them -- so consecutive lists share
         pages (inter-list clustering).
         """
+        adjacency = ctx.adjacency
+        create_list = ctx.store.create_list
+        lists = ctx.lists
+        acquired = ctx.acquired
         for node in reversed(ctx.topo_order):
-            children = ctx.adjacency[node]
-            ctx.store.create_list(node, len(children))
+            children = adjacency[node]
+            create_list(node, len(children))
             bits = 0
             for child in children:
                 bits |= 1 << child
-            ctx.lists[node] = bits
-            ctx.acquired[node] = 0
+            lists[node] = bits
+            acquired[node] = 0
 
     # -- computation phase (per algorithm) ---------------------------------------
 
@@ -243,18 +264,21 @@ class TwoPhaseAlgorithm(ABC):
         else:
             output_nodes = [s for s in ctx.query.sources or () if s in ctx.in_scope]
         output_pages: set[PageId] = set()
-        for node in output_nodes:
-            output_pages.update(ctx.store.pages_of(node))
-        ctx.pool.flush_selected(output_pages)
+        if ctx.engine.supports(CAP_PAGE_COSTS):
+            pages_of = ctx.store.pages_of
+            for node in output_nodes:
+                output_pages.update(pages_of(node))
+        ctx.engine.flush_output(output_pages)
 
-        ctx.metrics.distinct_tuples = sum(bits.bit_count() for bits in ctx.lists.values())
+        lists_get = ctx.lists.get
+        ctx.metrics.distinct_tuples = sum(map(int.bit_count, ctx.lists.values()))
         ctx.metrics.output_tuples = sum(
-            ctx.lists.get(node, 0).bit_count() for node in output_nodes
+            lists_get(node, 0).bit_count() for node in output_nodes
         )
         return output_nodes
 
     def _build_result(self, ctx: ExecutionContext, output_nodes: list[int]) -> ClosureResult:
-        num_arcs = sum(len(children) for children in ctx.adjacency.values())
+        num_arcs = ctx.num_magic_arcs
         return ClosureResult(
             algorithm=self.name,
             query=ctx.query,

@@ -26,16 +26,55 @@ class BtcAlgorithm(TwoPhaseAlgorithm):
 
     def compute(self, ctx: ExecutionContext) -> None:
         position = ctx.position
+        levels = ctx.levels
+        adjacency = ctx.adjacency
+        lists = ctx.lists
+        acquired = ctx.acquired
+        store = ctx.engine.store
+        read_list = store.read_list
+        length = store.length
+        append = store.append
+        # This loop performs one list union per unmarked arc -- the
+        # whole algorithm.  The union of :meth:`ExecutionContext.
+        # union_list` is inlined here and the counters accumulate in
+        # locals, folded into ``metrics`` once at the end: the final
+        # totals (and every storage call, in the same order) are
+        # identical, nothing reads the counters mid-compute.
+        arcs_considered = arcs_marked = locality = 0
+        list_unions = tuple_io = generated = duplicates = 0
         for node in reversed(ctx.topo_order):
-            children = sorted(ctx.adjacency[node], key=position.__getitem__)
-            acquired = ctx.acquired
-            metrics = ctx.metrics
+            children = sorted(adjacency[node], key=position.__getitem__)
+            node_level = levels[node]
+            node_list = lists[node]
+            node_acquired = acquired[node]
             for child in children:
-                metrics.arcs_considered += 1
-                if (acquired[node] >> child) & 1:
+                arcs_considered += 1
+                if (node_acquired >> child) & 1:
                     # An earlier child's list already contained this
                     # child: the arc is redundant -- mark and skip.
-                    metrics.arcs_marked += 1
+                    arcs_marked += 1
                     continue
-                metrics.unmarked_locality_total += ctx.arc_locality(node, child)
-                ctx.union_list(node, child)
+                locality += node_level - levels[child]
+                list_unions += 1
+                read_list(child)
+                source_bits = lists[child] | (1 << child)
+                read_tuples = length(child)
+                tuple_io += read_tuples
+                generated += read_tuples
+                added = (source_bits & ~node_list).bit_count()
+                duplicates += read_tuples - added
+                node_list |= source_bits
+                node_acquired |= source_bits
+                if added:
+                    append(node, added)
+            lists[node] = node_list
+            acquired[node] = node_acquired
+        metrics = ctx.metrics
+        metrics.arcs_considered += arcs_considered
+        metrics.arcs_marked += arcs_marked
+        metrics.unmarked_locality_total += locality
+        metrics.list_unions += list_unions
+        metrics.list_reads += list_unions
+        metrics.tuple_io += tuple_io
+        metrics.tuples_generated += generated
+        metrics.duplicates += duplicates

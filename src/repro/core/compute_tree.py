@@ -46,8 +46,16 @@ from dataclasses import dataclass, field
 
 from repro.core.base import TwoPhaseAlgorithm
 from repro.core.context import ExecutionContext
+from repro.storage.engine import CAP_PAGE_COSTS
 from repro.storage.page import PageId, PageKind
-from repro.storage.successor_store import SuccessorListStore
+
+
+# A tree node is a plain two-slot list ``[node_id, children]`` rather
+# than a class: the merge loop below allocates and walks hundreds of
+# thousands of these per run, and list construction/indexing is
+# markedly cheaper than instance creation and attribute access.  The
+# representation never leaves this module.
+_TreeNode = list  # [int, list[_TreeNode]]
 
 
 @dataclass
@@ -57,6 +65,13 @@ class _SpecialTree:
     root: "_TreeNode | None" = None
     ids: set[int] = field(default_factory=set)
     source_bits: int = 0
+    internal_count: int = 0
+    """Number of nodes with at least one child.
+
+    Maintained incrementally as nodes are created: a copied subtree is
+    never restructured afterwards (later merges only add sibling
+    subtrees), so a node's internal/leaf status is fixed at creation.
+    """
 
     @property
     def size(self) -> int:
@@ -65,28 +80,7 @@ class _SpecialTree:
     @property
     def stored_entries(self) -> int:
         """On-disk entries: each node once, plus one marker per parent."""
-        internal = sum(1 for _ in self._internal_nodes())
-        return len(self.ids) + internal
-
-    def _internal_nodes(self):
-        if self.root is None:
-            return
-        stack = [self.root]
-        while stack:
-            node = stack.pop()
-            if node.children:
-                yield node
-                stack.extend(node.children)
-
-
-class _TreeNode:
-    """One special node inside a predecessor tree."""
-
-    __slots__ = ("id", "children")
-
-    def __init__(self, node_id: int, children: list["_TreeNode"] | None = None) -> None:
-        self.id = node_id
-        self.children = children if children is not None else []
+        return len(self.ids) + self.internal_count
 
 
 class ComputeTreeAlgorithm(TwoPhaseAlgorithm):
@@ -120,18 +114,18 @@ class ComputeTreeAlgorithm(TwoPhaseAlgorithm):
         """
         in_scope = ctx.in_scope
         predecessors: dict[int, list[int]] = {}
-        pred_store = SuccessorListStore(ctx.pool, kind=PageKind.PREDECESSOR)
+        pred_store = ctx.engine.make_list_store(PageKind.PREDECESSOR)
         for node in ctx.topo_order:
             all_preds = ctx.graph.predecessors(node)
             if self.dual_representation:
-                if ctx.inverse_relation is not None and all_preds:
-                    ctx.inverse_relation.read_predecessors(node, ctx.pool)
+                if all_preds:
+                    ctx.engine.read_predecessors(node)
                     ctx.metrics.tuple_io += len(all_preds)
             else:
                 # No inverse index: one scattered page access per
                 # predecessor arc retrieved.
-                ctx.relation.probe_arcs_unclustered(
-                    len(all_preds), ctx.pool, seed_position=node
+                ctx.engine.probe_arcs_unclustered(
+                    len(all_preds), seed_position=node
                 )
                 ctx.metrics.tuple_io += len(all_preds)
             magic_preds = [p for p in all_preds if p in in_scope]
@@ -145,74 +139,93 @@ class ComputeTreeAlgorithm(TwoPhaseAlgorithm):
     def compute(self, ctx: ExecutionContext) -> None:
         metrics = ctx.metrics
         position = ctx.position
+        levels = ctx.levels
+        lists = ctx.lists
+        store = ctx.store
+        store_read = store.read_list
+        store_create = store.create_list
+        pred_read = self._pred_store.read_list
+        predecessors = self._predecessors
+        merge = self._merge
         sources = set(ctx.query.sources or ctx.topo_order)
         trees: dict[int, _SpecialTree] = {}
         self._trees = trees
+        # The per-arc counters accumulate in locals and fold into
+        # ``metrics`` once at the end -- the final totals (and every
+        # storage call, in the same order) are identical.
+        arcs_considered = arcs_marked = locality = unions = 0
 
         for node in ctx.topo_order:
             tree = _SpecialTree()
+            tree_ids = tree.ids
             merged_roots: list[_TreeNode] = []
-            if self._predecessors[node]:
+            preds = predecessors[node]
+            if preds:
                 # Bring the node's materialised predecessor list in.
-                self._pred_store.read_list(node)
-            # Parents are merged latest-topological-position first: a
-            # later parent's tree can contain an earlier parent (the
-            # analogue of BTC's child ordering), giving the marking
-            # test below its best chance -- which is still poor,
-            # because only *special* parents ever appear in a tree.
-            parents = sorted(
-                self._predecessors[node], key=position.__getitem__, reverse=True
-            )
-            for parent in parents:
-                metrics.arcs_considered += 1
-                parent_tree = trees[parent]
-                if parent in tree.ids:
-                    # The parent itself is a special node already in
-                    # this tree: the only case where the marking
-                    # optimisation applies to partial lists.  Because
-                    # trees store *only* special nodes, this is rare --
-                    # the poor marking utilisation of Section 6.3.3.
-                    metrics.arcs_marked += 1
-                    continue
-                metrics.unmarked_locality_total += ctx.arc_locality(parent, node)
-                contribution = self._contribution(parent, parent_tree, sources)
-                if contribution is None:
-                    # The parent is a non-source with an empty tree:
-                    # nothing can flow through this arc.
-                    continue
-                # Perform the union even when it cannot contribute any
-                # new node (the paper's arc (j, d) example): the
-                # parent's tree must still be brought into memory.
-                metrics.list_unions += 1
-                metrics.list_reads += 1
-                if parent_tree.size:
-                    ctx.store.read_list(parent)
-                copied = self._merge(contribution, tree, sources, metrics)
-                if copied is not None:
-                    merged_roots.append(copied)
+                pred_read(node)
+                node_level = levels[node]
+                # Parents are merged latest-topological-position first:
+                # a later parent's tree can contain an earlier parent
+                # (the analogue of BTC's child ordering), giving the
+                # marking test below its best chance -- which is still
+                # poor, because only *special* parents ever appear in a
+                # tree.
+                parents = sorted(preds, key=position.__getitem__, reverse=True)
+                for parent in parents:
+                    arcs_considered += 1
+                    parent_tree = trees[parent]
+                    if parent in tree_ids:
+                        # The parent itself is a special node already in
+                        # this tree: the only case where the marking
+                        # optimisation applies to partial lists.  Because
+                        # trees store *only* special nodes, this is rare
+                        # -- the poor marking utilisation of Section
+                        # 6.3.3.
+                        arcs_marked += 1
+                        continue
+                    locality += levels[parent] - node_level
+                    # The tree a parent arc contributes: T(p), under p
+                    # itself when p is a source.
+                    parent_root = parent_tree.root
+                    if parent in sources:
+                        children = [parent_root] if parent_root is not None else []
+                        contribution = [parent, children]
+                    elif parent_root is not None:
+                        contribution = parent_root
+                    else:
+                        # The parent is a non-source with an empty tree:
+                        # nothing can flow through this arc.
+                        continue
+                    # Perform the union even when it cannot contribute
+                    # any new node (the paper's arc (j, d) example): the
+                    # parent's tree must still be brought into memory.
+                    unions += 1
+                    if parent_tree.ids:
+                        store_read(parent)
+                    copied = merge(contribution, tree, sources, metrics)
+                    if copied is not None:
+                        merged_roots.append(copied)
 
             if len(merged_roots) > 1:
                 # Unrelated source groups meet for the first time here:
                 # the node itself becomes a branch (special) node.
-                tree.root = _TreeNode(node, merged_roots)
-                tree.ids.add(node)
+                tree.root = [node, merged_roots]
+                tree.internal_count += 1
+                tree_ids.add(node)
                 if node in sources:
                     tree.source_bits |= 1 << node
                 metrics.tuples_generated += 1
             elif merged_roots:
                 tree.root = merged_roots[0]
             trees[node] = tree
-            ctx.store.create_list(node, tree.stored_entries)
-            ctx.lists[node] = 0  # flat lists are not used by JKB
+            store_create(node, tree.stored_entries)
+            lists[node] = 0  # flat lists are not used by JKB
 
-    def _contribution(
-        self, parent: int, parent_tree: _SpecialTree, sources: set[int]
-    ) -> _TreeNode | None:
-        """The tree a parent arc contributes: T(p), under p if p is a source."""
-        if parent in sources:
-            children = [parent_tree.root] if parent_tree.root is not None else []
-            return _TreeNode(parent, children)
-        return parent_tree.root
+        metrics.arcs_considered += arcs_considered
+        metrics.arcs_marked += arcs_marked
+        metrics.unmarked_locality_total += locality
+        metrics.list_unions += unions
+        metrics.list_reads += unions
 
     def _merge(
         self,
@@ -229,54 +242,92 @@ class ComputeTreeAlgorithm(TwoPhaseAlgorithm):
         tree* survive -- sources not yet present, and interior nodes
         that still join two or more surviving groups.  Iterative
         post-order traversal: special trees can be ``2|S|`` deep.
-        """
-        # Each frame: (node, child_iterator, surviving_children).
-        results: list[_TreeNode | None] = []
-        stack: list[tuple[_TreeNode, int, list[_TreeNode]]] = [(contribution, 0, [])]
-        while stack:
-            node, child_index, surviving = stack[-1]
-            if child_index == 0:
-                metrics.tuple_io += 1
-                if node.id in tree.ids:
-                    # Present already, with every source that reaches it
-                    # (see module docstring): a duplicate encounter --
-                    # prune this whole subtree without deriving anything.
-                    metrics.duplicates += 1
-                    stack.pop()
-                    results.append(None)
-                    self._deliver(stack, results)
-                    continue
-            if child_index < len(node.children):
-                stack[-1] = (node, child_index + 1, surviving)
-                stack.append((node.children[child_index], 0, []))
-                continue
-            stack.pop()
-            is_source = node.id in sources
-            if not is_source and len(surviving) < 2:
-                # A non-source interior node that no longer branches is
-                # not special any more: splice it out.
-                results.append(surviving[0] if surviving else None)
-            else:
-                # A new special node: one successful deduction.
-                copy = _TreeNode(node.id, surviving)
-                tree.ids.add(node.id)
-                if is_source:
-                    tree.source_bits |= 1 << node.id
-                metrics.tuples_generated += 1
-                results.append(copy)
-            self._deliver(stack, results)
-        return results[0]
 
-    @staticmethod
-    def _deliver(
-        stack: list[tuple["_TreeNode", int, list["_TreeNode"]]],
-        results: list["_TreeNode | None"],
-    ) -> None:
-        """Hand a finished child copy to its parent frame, if any."""
-        if stack and results:
-            child_copy = results.pop()
-            if child_copy is not None:
-                stack[-1][2].append(child_copy)
+        This is the single hottest loop of JKB/JKB2 (every parent arc
+        walks a whole contribution tree), so the counters are kept in
+        locals and folded into ``metrics`` once at the end -- the final
+        totals are identical, phase-boundary readers never observe a
+        partial merge.
+        """
+        tree_ids = tree.ids
+        tuple_io = duplicates = generated = internal = 0
+        source_bits = 0
+        result: _TreeNode | None = None
+        # The duplicate test runs *before* a node is pushed (or, for
+        # leaves, visited inline), so a frame only ever holds a node
+        # whose subtree is being copied -- pruned subtrees never
+        # allocate a frame at all.
+        tuple_io += 1
+        if contribution[0] in tree_ids:
+            # Present already, with every source that reaches it (see
+            # module docstring): a duplicate encounter -- prune the
+            # whole contribution without deriving anything.
+            metrics.tuple_io += tuple_io
+            metrics.duplicates += duplicates + 1
+            return None
+        # Each frame: [node, next_child_index, surviving_children].
+        # Leaves never get a frame of their own -- they are visited
+        # inline while expanding their parent (the majority of tree
+        # nodes are leaf sources, so this halves the traversal cost).
+        stack = [[contribution, 0, []]]
+        while stack:
+            frame = stack[-1]
+            node = frame[0]
+            child_index = frame[1]
+            children = node[1]
+            n_children = len(children)
+            while child_index < n_children:
+                child = children[child_index]
+                child_index += 1
+                tuple_io += 1
+                child_id = child[0]
+                if child_id in tree_ids:
+                    # Duplicate encounter: prune the whole subtree
+                    # without descending.
+                    duplicates += 1
+                    continue
+                grandchildren = child[1]
+                if grandchildren:
+                    frame[1] = child_index
+                    stack.append([child, 0, []])
+                    break
+                # Inline leaf visit: no frame of its own.  A non-source
+                # leaf is never special: spliced out.
+                if child_id in sources:
+                    tree_ids.add(child_id)
+                    source_bits |= 1 << child_id
+                    generated += 1
+                    frame[2].append([child_id, []])
+            else:
+                # Every child is examined: the node's copy is decided.
+                stack.pop()
+                surviving = frame[2]
+                node_id = node[0]
+                is_source = node_id in sources
+                if not is_source and len(surviving) < 2:
+                    # A non-source interior node that no longer branches
+                    # is not special any more: splice it out.
+                    copy = surviving[0] if surviving else None
+                else:
+                    # A new special node: one successful deduction.
+                    copy = [node_id, surviving]
+                    if surviving:
+                        internal += 1
+                    tree_ids.add(node_id)
+                    if is_source:
+                        source_bits |= 1 << node_id
+                    generated += 1
+                if copy is not None:
+                    if stack:
+                        stack[-1][2].append(copy)
+                    else:
+                        result = copy
+        metrics.tuple_io += tuple_io
+        metrics.duplicates += duplicates
+        metrics.tuples_generated += generated
+        tree.source_bits |= source_bits
+        tree.internal_count += internal
+        return result
 
     # -- output -----------------------------------------------------------------
 
@@ -288,32 +339,40 @@ class ComputeTreeAlgorithm(TwoPhaseAlgorithm):
         written to the output file.
         """
         metrics = ctx.metrics
+        trees = self._trees
+        read_list = ctx.store.read_list
         answer: dict[int, int] = {}
+        get = answer.get
         for node in ctx.topo_order:
-            tree = self._trees[node]
-            if tree.size:
-                ctx.store.read_list(node)
+            tree = trees[node]
+            if tree.ids:
+                read_list(node)
             # A node can appear in its own tree as a branch (special)
             # node; it does not reach itself in an acyclic graph.
-            bits = tree.source_bits & ~(1 << node)
+            node_bit = 1 << node
+            bits = tree.source_bits & ~node_bit
             while bits:
                 low = bits & -bits
                 source = low.bit_length() - 1
-                answer[source] = answer.get(source, 0) | (1 << node)
+                answer[source] = get(source, 0) | node_bit
                 bits ^= low
 
-        output_store = SuccessorListStore(ctx.pool, kind=PageKind.OUTPUT)
+        output_store = ctx.engine.make_list_store(PageKind.OUTPUT)
         output_nodes = [s for s in ctx.query.sources or ctx.topo_order if s in ctx.in_scope]
+        charged = ctx.engine.supports(CAP_PAGE_COSTS)
         output_pages: set[PageId] = set()
+        output_tuples = 0
+        lists = ctx.lists
         for source in output_nodes:
-            bits = answer.get(source, 0)
-            ctx.lists[source] = bits
-            output_store.create_list(source, bits.bit_count())
-            output_pages.update(output_store.pages_of(source))
-        ctx.pool.flush_selected(output_pages)
+            bits = get(source, 0)
+            lists[source] = bits
+            count = bits.bit_count()
+            output_tuples += count
+            output_store.create_list(source, count)
+            if charged:
+                output_pages.update(output_store.pages_of(source))
+        ctx.engine.flush_output(output_pages)
 
-        metrics.distinct_tuples = sum(tree.size for tree in self._trees.values())
-        metrics.output_tuples = sum(
-            ctx.lists.get(node, 0).bit_count() for node in output_nodes
-        )
+        metrics.distinct_tuples = sum(len(tree.ids) for tree in trees.values())
+        metrics.output_tuples = output_tuples
         return output_nodes

@@ -1,11 +1,13 @@
-"""Execution context: wires graph, query, storage and metrics together.
+"""Execution context: wires graph, query, engine and metrics together.
 
-One :class:`ExecutionContext` is created per algorithm run.  It owns the
-buffer pool, the on-disk relations, the successor-list store and the
-metric counters, and it carries the state the shared restructuring
-phase produces: the magic-graph scope, the topological order, node
-levels and the initial adjacency (which the BJ algorithm's single-
-parent reduction is allowed to rewrite).
+One :class:`ExecutionContext` is created per algorithm run.  It builds
+the run's :class:`~repro.storage.engine.StorageEngine` (the paged
+substrate by default, or the in-memory fast backend) and carries the
+state the shared restructuring phase produces: the magic-graph scope,
+the topological order, node levels and the initial adjacency (which the
+BJ algorithm's single-parent reduction is allowed to rewrite).  All
+storage is owned by the engine; the algorithms reach it through
+``ctx.engine`` and the shared cost-accounting helpers here.
 """
 
 from __future__ import annotations
@@ -15,11 +17,9 @@ from repro.core.query import Query, SystemConfig
 from repro.graphs.digraph import Digraph
 from repro.metrics.counters import MetricSet
 from repro.obs.spans import SpanRecorder
-from repro.storage.buffer import BufferPool, make_policy
+from repro.storage.engine import CAP_AUDIT, StorageEngine, make_engine
 from repro.storage.iostats import Phase
-from repro.storage.relation import ArcRelation, InverseArcRelation
-from repro.storage.successor_store import SuccessorListStore
-from repro.storage.trace import PageTrace, TracedPool
+from repro.storage.trace import PageTrace
 
 
 class ExecutionContext:
@@ -45,34 +45,22 @@ class ExecutionContext:
         # after-every-eviction pool checks in "strict" mode.  A pure
         # observer -- page-I/O counts are identical with or without it.
         self.auditor = make_auditor()
-        policy = make_policy(system.page_policy, seed=system.policy_seed)
-        if trace is not None:
-            self.pool: BufferPool = TracedPool(
-                system.buffer_pages,
-                trace,
-                stats=self.metrics.io,
-                policy=policy,
-                recorder=recorder,
-                auditor=self.auditor,
-            )
-        else:
-            self.pool = BufferPool(
-                system.buffer_pages,
-                stats=self.metrics.io,
-                policy=policy,
-                recorder=recorder,
-                auditor=self.auditor,
-            )
-        self.relation = ArcRelation(graph)
-        self.inverse_relation: InverseArcRelation | None = (
-            InverseArcRelation(graph) if needs_inverse else None
+        self.engine: StorageEngine = make_engine(
+            system,
+            graph,
+            metrics=self.metrics,
+            needs_inverse=needs_inverse,
+            recorder=recorder,
+            trace=trace,
+            auditor=self.auditor,
         )
-        self.store = SuccessorListStore(
-            self.pool,
-            policy=system.list_policy,
-            blocks_per_page=system.blocks_per_page,
-            block_capacity=system.block_capacity,
-        )
+        if self.auditor is not None and not self.engine.supports(CAP_AUDIT):
+            # An *explicitly* requested audit was already refused by the
+            # engine's constructor.  The implicit cheap auditor has
+            # nothing left to check here -- this engine never touches
+            # the counters or substrate it covers -- so it does not
+            # attach at all (capability honesty, not a silent no-op).
+            self.auditor = None
 
         # Populated by the restructuring phase:
         self.topo_order: list[int] = []
@@ -85,6 +73,8 @@ class ExecutionContext:
         """Node levels of the magic graph (rectangle model, Section 5.3)."""
         self.adjacency: dict[int, list[int]] = {}
         """Per-node children within the magic graph; BJ rewrites this."""
+        self.num_magic_arcs: int = 0
+        """Arc count of the magic graph, frozen when the scope is sorted."""
         self.lists: dict[int, int] = {}
         """Successor-list contents as bitsets (bit j set = j in the list)."""
         self.acquired: dict[int, int] = {}
@@ -95,6 +85,28 @@ class ExecutionContext:
         """W of the magic graph (rectangle model)."""
         self.max_level: int = 0
         """Maximum node level of the magic graph."""
+
+    # -- engine component views (read-only conveniences) ---------------------
+
+    @property
+    def store(self):
+        """The engine's main successor-list store."""
+        return self.engine.store
+
+    @property
+    def pool(self):
+        """The paged engine's buffer pool (None under the fast engine)."""
+        return getattr(self.engine, "pool", None)
+
+    @property
+    def relation(self):
+        """The paged engine's arc relation (None under the fast engine)."""
+        return getattr(self.engine, "relation", None)
+
+    @property
+    def inverse_relation(self):
+        """The paged engine's inverse relation, when materialised."""
+        return getattr(self.engine, "inverse_relation", None)
 
     # -- phase bookkeeping -------------------------------------------------
 
@@ -128,26 +140,30 @@ class ExecutionContext:
         the child's list is read (page touches plus one list I/O), its
         tuples are counted as generated (deductions), duplicates are
         counted against the target's current contents, and the newly
-        added successors are appended to the target's list on disk.
+        added successors are appended to the target's list in the
+        engine's store.
         """
         metrics = self.metrics
+        store = self.engine.store
+        lists = self.lists
         metrics.list_unions += 1
         metrics.list_reads += 1
-        self.store.read_list(child)
+        store.read_list(child)
 
-        source_bits = self.lists[child] | (1 << child)
-        read_tuples = self.store.length(child)
+        source_bits = lists[child] | (1 << child)
+        read_tuples = store.length(child)
         metrics.tuple_io += read_tuples
         metrics.tuples_generated += read_tuples
 
-        before = self.lists[target]
+        before = lists[target]
         # ``child`` itself is an immediate successor already present in
         # the target's restructured list, so only the child's proper
         # successor list can contribute new entries.
         added = (source_bits & ~before).bit_count()
         metrics.duplicates += read_tuples - added
 
-        self.lists[target] = before | source_bits
-        self.acquired[target] = self.acquired.get(target, 0) | source_bits
+        lists[target] = before | source_bits
+        acquired = self.acquired
+        acquired[target] = acquired.get(target, 0) | source_bits
         if added:
-            self.store.append(target, added)
+            store.append(target, added)

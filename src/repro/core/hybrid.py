@@ -84,10 +84,10 @@ class HybridAlgorithm(TwoPhaseAlgorithm):
             for page in ctx.store.pages_of(node):
                 if page not in pinned:
                     try:
-                        ctx.pool.pin(page, dirty=True)
+                        ctx.engine.pin_page(page)
                     except BufferPoolExhaustedError:
                         reblock()
-                        ctx.pool.pin(page, dirty=True)
+                        ctx.engine.pin_page(page)
                     pinned.add(page)
 
         def reblock() -> None:
@@ -109,7 +109,7 @@ class HybridAlgorithm(TwoPhaseAlgorithm):
                     still_needed.update(ctx.store.pages_of(node))
             for page in list(pinned):
                 if page not in still_needed:
-                    ctx.pool.unpin(page)
+                    ctx.engine.unpin_page(page)
                     pinned.discard(page)
 
         for node in block:
@@ -150,7 +150,7 @@ class HybridAlgorithm(TwoPhaseAlgorithm):
                 self._guarded_union(ctx, node, child, reblock, pin_list)
 
         for page in pinned:
-            ctx.pool.unpin(page)
+            ctx.engine.unpin_page(page)
 
     def _guarded_union(self, ctx, node, child, reblock, pin_list) -> None:
         """A union that shrinks the block when memory pressure builds.
@@ -160,7 +160,8 @@ class HybridAlgorithm(TwoPhaseAlgorithm):
         pages of the expanding list) can be faulted in without the
         union failing halfway through.
         """
-        while ctx.pool.pinned_count >= ctx.pool.capacity - 1 and ctx.pool.pinned_count:
+        engine = ctx.engine
+        while engine.pinned_count >= engine.frame_capacity - 1 and engine.pinned_count:
             reblock()
         ctx.union_list(node, child)
         pin_list(node)

@@ -13,8 +13,8 @@ from collections.abc import Iterable
 from dataclasses import dataclass
 
 from repro.errors import ConfigurationError
+from repro.storage.engine import ENGINE_NAMES, ListPlacementPolicy, default_engine
 from repro.storage.page import BLOCK_CAPACITY, BLOCKS_PER_PAGE
-from repro.storage.successor_store import ListPlacementPolicy
 
 
 @dataclass(frozen=True)
@@ -84,6 +84,14 @@ class SystemConfig:
         Successor-list page geometry.  Defaults to the paper's 30
         blocks of 15 successors; the block-size ablation benchmark
         sweeps these.
+    engine:
+        Storage engine name (see :mod:`repro.storage.engine`):
+        ``"paged"`` is the paper-faithful simulated substrate,
+        ``"fast"`` the in-memory backend with no page simulation.  An
+        empty string (the default) resolves at construction time to
+        the process default (``--engine`` flags / ``REPRO_ENGINE`` /
+        ``"paged"``), so the resolved name travels with pickled
+        configs to worker processes.
     """
 
     buffer_pages: int = 20
@@ -93,8 +101,16 @@ class SystemConfig:
     policy_seed: int = 0
     blocks_per_page: int = BLOCKS_PER_PAGE
     block_capacity: int = BLOCK_CAPACITY
+    engine: str = ""
 
     def __post_init__(self) -> None:
+        if not self.engine:
+            object.__setattr__(self, "engine", default_engine())
+        if self.engine not in ENGINE_NAMES:
+            valid = ", ".join(ENGINE_NAMES)
+            raise ConfigurationError(
+                f"unknown storage engine {self.engine!r}; valid engines: {valid}"
+            )
         if self.buffer_pages <= 0:
             raise ConfigurationError(
                 f"buffer_pages must be positive, got {self.buffer_pages}"

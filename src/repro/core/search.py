@@ -48,7 +48,7 @@ class SearchAlgorithm(TwoPhaseAlgorithm):
             visited = {source}
             while stack:
                 node = stack.pop()
-                children = ctx.relation.read_successors(node, ctx.pool)
+                children = ctx.engine.read_successors(node)
                 adjacency.setdefault(node, list(children))
                 scope.add(node)
                 if children:

@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 
 from repro.core.base import TwoPhaseAlgorithm
 from repro.core.context import ExecutionContext
+from repro.storage.engine import CAP_PAGE_COSTS
 from repro.storage.page import BLOCK_CAPACITY
 
 
@@ -71,6 +72,9 @@ class SpanningTreeAlgorithm(TwoPhaseAlgorithm):
     def compute(self, ctx: ExecutionContext) -> None:
         position = ctx.position
         metrics = ctx.metrics
+        # Engines without a page-cost model ignore the per-union list of
+        # visited blocks, so tracking it would be pure overhead.
+        self._charged = ctx.engine.supports(CAP_PAGE_COSTS)
         for node in reversed(ctx.topo_order):
             children = sorted(ctx.adjacency[node], key=position.__getitem__)
             for child in children:
@@ -91,10 +95,11 @@ class SpanningTreeAlgorithm(TwoPhaseAlgorithm):
         metrics.list_unions += 1
         metrics.list_reads += 1
 
+        charged = self._charged
         target_tree = self._trees[target]
         child_tree = self._trees[child]
         visited_blocks: set[int] = set()
-        if child_tree.entry_count:
+        if charged and child_tree.entry_count:
             # The first page of the child's tree is always accessed.
             visited_blocks.add(0)
 
@@ -108,19 +113,46 @@ class SpanningTreeAlgorithm(TwoPhaseAlgorithm):
             (root, child) for root in reversed(child_tree.roots)
         ]
         visited_tuples = 0
+        duplicates = 0
+        lists = ctx.lists
+        child_index = child_tree.index
+        child_children = child_tree.children
+        visit_block = visited_blocks.add
+        # _copy_node, inlined against local aliases of the target
+        # tree's structures (this loop copies every unpruned node).
+        target_bits = lists[target]
+        t_children = target_tree.children
+        t_index = target_tree.index
+        entry_count = target_tree.entry_count
         while stack:
             node, parent = stack.pop()
-            visited_blocks.add(child_tree.index[node] // BLOCK_CAPACITY)
+            if charged:
+                # The engine charges per block of the serialised source
+                # tree that holds a visited entry.
+                visit_block(child_index[node] // BLOCK_CAPACITY)
             visited_tuples += 1
-            if (ctx.lists[target] >> node) & 1:
+            if (target_bits >> node) & 1:
                 # Present already -- together with its whole subtree;
                 # prune without descending.
-                metrics.duplicates += 1
+                duplicates += 1
                 continue
-            self._copy_node(ctx, target, target_tree, parent=parent, node=node)
-            for grandchild in reversed(child_tree.children.get(node, ())):
-                stack.append((grandchild, node))
+            siblings = t_children.setdefault(parent, [])
+            if not siblings:
+                # The parent just became internal: it is stored once as
+                # a parent marker ahead of its child run.
+                entry_count += 1
+            siblings.append(node)
+            t_index[node] = entry_count
+            entry_count += 1
+            target_bits |= 1 << node
+            grandchildren = child_children.get(node)
+            if grandchildren:
+                for grandchild in reversed(grandchildren):
+                    stack.append((grandchild, node))
+        lists[target] = target_bits
+        target_tree.entry_count = entry_count
 
+        metrics.duplicates += duplicates
         metrics.tuples_generated += visited_tuples
         metrics.tuple_io += visited_tuples
 

@@ -60,6 +60,16 @@ class ConfigurationError(ReproError, ValueError):
     """
 
 
+class EngineCapabilityError(ConfigurationError):
+    """A storage engine was asked for a capability it does not provide.
+
+    Raised eagerly -- at engine construction or attachment time -- so an
+    unsupported combination (for example chaos fault injection on the
+    in-memory fast engine) fails loudly instead of silently measuring
+    nothing.  See :mod:`repro.storage.engine`.
+    """
+
+
 class InvariantViolation(ReproError):
     """An internal accounting invariant of the simulator was broken.
 

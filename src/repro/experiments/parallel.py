@@ -23,6 +23,11 @@ serial execution:
   :meth:`AveragedMetrics.from_results` call the serial path uses.
   Worker processes never emit to a sink themselves (a forked worker
   inherits the parent's global sink; :func:`_worker_init` detaches it).
+* **Storage engines.**  A unit's :class:`SystemConfig` carries the
+  *resolved* engine name (``paged``/``fast``) by value, so pickled
+  units run the driver's engine in every worker with no extra
+  environment plumbing (unlike chaos, which re-arms per process from
+  ``REPRO_CHAOS`` in :func:`_worker_init`).
 * **Serial fallback.**  ``jobs=1`` -- the default everywhere -- does
   not touch ``multiprocessing`` at all: cells are executed through the
   exact pre-existing :func:`~repro.experiments.runner.average_runs`

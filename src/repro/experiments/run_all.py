@@ -46,6 +46,7 @@ from repro.experiments.figures import ALL_FIGURES, FigureData
 from repro.experiments.parallel import ExperimentEngine, use_engine
 from repro.experiments.tables import table2, table3, table4
 from repro.metrics.report import format_table
+from repro.storage.engine import ENGINE_NAMES, ENV_ENGINE, set_default_engine
 
 _TABLES = {
     "table2": lambda profile: format_table(
@@ -100,6 +101,11 @@ def main(argv: list[str] | None = None) -> int:
         "--audit", choices=AUDIT_MODES, default=None,
         help="invariant audit mode (default: cheap, or REPRO_AUDIT)",
     )
+    parser.add_argument(
+        "--engine", choices=list(ENGINE_NAMES), default=None,
+        help="storage engine for every cell: 'paged' (the paper's cost "
+        "model) or 'fast' (in-memory; page-I/O columns read zero)",
+    )
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
@@ -115,6 +121,12 @@ def main(argv: list[str] | None = None) -> int:
         if args.audit:
             set_audit_mode(args.audit)
             os.environ[ENV_AUDIT] = args.audit
+        if args.engine:
+            # The figure/table builders construct their own SystemConfigs;
+            # the process default (plus the env, for workers) reroutes
+            # them all without touching every call site.
+            set_default_engine(args.engine)
+            os.environ[ENV_ENGINE] = args.engine
         journal = SweepJournal(args.resume) if args.resume else None
     except (ReproError, ValueError) as exc:
         print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)

@@ -12,6 +12,12 @@ wide with :func:`repro.obs.sink.set_global_sink`.  With no sink
 attached (the default), no record is built and runs are exactly as
 cheap as before.
 
+Storage engines: the runner is engine-agnostic.  The engine name is
+resolved into :class:`SystemConfig` at construction time, so a bare
+``SystemConfig()`` built here (when a caller passes ``system=None``)
+picks up the process default installed by ``run_all --engine`` /
+``REPRO_ENGINE`` -- see :func:`repro.storage.engine.default_engine`.
+
 This module is the *serial* execution substrate.  The process-pool
 engine in :mod:`repro.experiments.parallel` fans cells out across
 workers but reproduces this module's behaviour exactly: its work units

@@ -119,6 +119,15 @@ class Digraph:
         """The node identifiers ``0 .. n-1``."""
         return range(self.num_nodes)
 
+    def adjacency_lists(self) -> dict[int, list[int]]:
+        """A fresh ``{node: [successors...]}`` mapping of the whole graph.
+
+        Every list is a copy, so callers may rewrite the mapping freely
+        (the restructuring phase hands it to the algorithms, and BJ's
+        single-parent reduction mutates it in place).
+        """
+        return {node: list(children) for node, children in enumerate(self._succ)}
+
     def has_arc(self, src: int, dst: int) -> bool:
         """Whether the arc (src, dst) is present."""
         self._check(src)

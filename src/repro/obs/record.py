@@ -68,10 +68,18 @@ def io_stats_dict(io: IoStats) -> dict[str, Any]:
 
 
 def system_config_dict(system: Any) -> dict[str, Any]:
-    """Serialise a :class:`SystemConfig` to JSON-safe values."""
+    """Serialise a :class:`SystemConfig` to JSON-safe values.
+
+    The default ``paged`` engine is omitted (like empty fault lists in
+    :meth:`RunRecord.to_dict`): paged-engine records and sweep-journal
+    cell keys stay byte-identical to those written before the engine
+    field existed.
+    """
     out: dict[str, Any] = {}
     for f in dataclasses.fields(system):
         value = getattr(system, f.name)
+        if f.name == "engine" and value == "paged":
+            continue
         if isinstance(value, (int, float, str, bool)) or value is None:
             out[f.name] = value
         else:  # enums (ListPlacementPolicy) and anything else exotic

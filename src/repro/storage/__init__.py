@@ -14,13 +14,26 @@ and Section 5.1):
 * :mod:`repro.storage.successor_store` -- paged successor-list storage
   (30 blocks of 15 successors per 2048-byte page) with page splits and
   list replacement policies.
+* :mod:`repro.storage.engine` -- the :class:`StorageEngine` seam the
+  algorithms actually program against, with the paper-faithful
+  ``paged`` backend (:mod:`repro.storage.paged`) and the in-memory
+  ``fast`` backend (:mod:`repro.storage.fast`).
 
-Every page access in the system flows through a :class:`BufferPool`, so
-the page-I/O numbers reported by the experiments are produced by the
-same mechanism the paper used: a simulated buffer manager.
+Under the ``paged`` engine every page access flows through a
+:class:`BufferPool`, so the page-I/O numbers reported by the
+experiments are produced by the same mechanism the paper used: a
+simulated buffer manager.
 """
 
 from repro.storage.buffer import BufferPool, ReplacementPolicy, make_policy
+from repro.storage.engine import (
+    ENGINE_NAMES,
+    ListStore,
+    StorageEngine,
+    default_engine,
+    make_engine,
+    set_default_engine,
+)
 from repro.storage.iostats import IoStats, Phase
 from repro.storage.page import (
     BLOCKS_PER_PAGE,
@@ -40,17 +53,23 @@ __all__ = [
     "BLOCKS_PER_PAGE",
     "BLOCK_CAPACITY",
     "BufferPool",
+    "ENGINE_NAMES",
     "InverseArcRelation",
     "IoStats",
     "ListPlacementPolicy",
+    "ListStore",
     "PAGE_SIZE",
     "PageId",
     "PageKind",
     "Phase",
     "ReplacementPolicy",
     "SUCCESSORS_PER_PAGE",
+    "StorageEngine",
     "SuccessorListStore",
     "TUPLES_PER_PAGE",
     "TUPLE_SIZE",
+    "default_engine",
+    "make_engine",
     "make_policy",
+    "set_default_engine",
 ]

@@ -57,6 +57,11 @@ class PageKind(enum.Enum):
     OUTPUT = "output"
     DELTA = "delta"
 
+    # Members are singletons, so identity hashing is equivalent to the
+    # default name hash -- and much cheaper for PageId hashing and the
+    # per-kind I/O counters on the hot path.
+    __hash__ = object.__hash__
+
 
 @dataclass(frozen=True, slots=True)
 class PageId:

@@ -10,6 +10,11 @@ the comparison so a bug shared by all implementations cannot hide.
 This is the safety net under the parallel experiment engine: the
 engine's bit-identical guarantee is only meaningful if every executor
 of a work unit computes the same relation to begin with.
+
+The whole grid runs under BOTH storage engines: the paper-faithful
+``paged`` substrate and the in-memory ``fast`` backend must produce
+the same closure tuple sets (the fast engine only drops the page-cost
+simulation, never the answer).
 """
 
 import networkx as nx
@@ -19,6 +24,7 @@ from repro.baselines import BASELINE_NAMES, make_baseline
 from repro.core.query import Query, SystemConfig
 from repro.core.registry import ALGORITHM_NAMES, make_algorithm
 from repro.graphs.generator import generate_dag
+from repro.storage.engine import ENGINE_NAMES
 
 
 def oracle_closure(graph):
@@ -46,8 +52,11 @@ def _make(name: str):
     return make_baseline(name) if name in BASELINE_NAMES else make_algorithm(name)
 
 
-def _answer(name: str, graph, query, buffer_pages: int) -> set[tuple[int, int]]:
-    result = _make(name).run(graph, query, SystemConfig(buffer_pages=buffer_pages))
+def _answer(
+    name: str, graph, query, buffer_pages: int, engine: str = "paged"
+) -> set[tuple[int, int]]:
+    system = SystemConfig(buffer_pages=buffer_pages, engine=engine)
+    result = _make(name).run(graph, query, system)
     return set(result.tuples())
 
 
@@ -57,23 +66,28 @@ def _expected_tuples(graph, sources=None) -> set[tuple[int, int]]:
     return {(node, succ) for node in nodes for succ in closure[node]}
 
 
+@pytest.mark.parametrize("engine", ENGINE_NAMES)
 @pytest.mark.parametrize("n,f,loc,seed,buffer_pages", DAG_GRID)
-def test_full_closure_all_implementations_agree(n, f, loc, seed, buffer_pages):
+def test_full_closure_all_implementations_agree(n, f, loc, seed, buffer_pages, engine):
     graph = generate_dag(n, f, loc, seed=seed)
     expected = _expected_tuples(graph)
     for name in FULL_CLOSURE_ALGOS + tuple(BASELINE_NAMES):
-        answer = _answer(name, graph, Query.full(), buffer_pages)
+        answer = _answer(name, graph, Query.full(), buffer_pages, engine)
         assert answer == expected, (
             f"{name} diverges from the oracle on CTC "
-            f"(n={n}, F={f}, l={loc}, seed={seed}, M={buffer_pages}): "
+            f"(n={n}, F={f}, l={loc}, seed={seed}, M={buffer_pages}, "
+            f"engine={engine}): "
             f"missing={sorted(expected - answer)[:5]} "
             f"extra={sorted(answer - expected)[:5]}"
         )
 
 
+@pytest.mark.parametrize("engine", ENGINE_NAMES)
 @pytest.mark.parametrize("n,f,loc,seed,buffer_pages", DAG_GRID)
 @pytest.mark.parametrize("selectivity", [1, 4])
-def test_partial_closure_all_implementations_agree(n, f, loc, seed, buffer_pages, selectivity):
+def test_partial_closure_all_implementations_agree(
+    n, f, loc, seed, buffer_pages, selectivity, engine
+):
     import random
 
     graph = generate_dag(n, f, loc, seed=seed)
@@ -81,17 +95,21 @@ def test_partial_closure_all_implementations_agree(n, f, loc, seed, buffer_pages
     query = Query.ptc(sources)
     expected = _expected_tuples(graph, sources)
     for name in ALL_RUNNERS:
-        answer = _answer(name, graph, query, buffer_pages)
+        answer = _answer(name, graph, query, buffer_pages, engine)
         assert answer == expected, (
             f"{name} diverges from the oracle on PTC s={selectivity} "
-            f"(n={n}, F={f}, l={loc}, seed={seed}, M={buffer_pages})"
+            f"(n={n}, F={f}, l={loc}, seed={seed}, M={buffer_pages}, "
+            f"engine={engine})"
         )
 
 
-def test_answers_are_restricted_to_the_sources():
+@pytest.mark.parametrize("engine", ENGINE_NAMES)
+def test_answers_are_restricted_to_the_sources(engine):
     """PTC answers must not leak successor lists of non-source nodes."""
     graph = generate_dag(30, 3, 10, seed=7)
     query = Query.ptc((2, 11))
     for name in ALL_RUNNERS:
-        result = _make(name).run(graph, query, SystemConfig(buffer_pages=5))
+        result = _make(name).run(
+            graph, query, SystemConfig(buffer_pages=5, engine=engine)
+        )
         assert set(result.successor_bits) == set(query.sources), name
