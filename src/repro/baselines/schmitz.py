@@ -30,9 +30,14 @@ from repro.core.query import Query, SystemConfig
 from repro.core.result import ClosureResult
 from repro.graphs.digraph import Digraph
 from repro.metrics.counters import MetricSet
-from repro.storage.engine import ListStore, make_engine
+from repro.storage.engine import (
+    CAP_PAGE_COSTS,
+    ListStore,
+    PageId,
+    PageKind,
+    make_engine,
+)
 from repro.storage.iostats import Phase
-from repro.storage.page import PageId, PageKind
 
 
 class SchmitzAlgorithm:
@@ -146,16 +151,21 @@ class SchmitzAlgorithm:
         successor_bits = {
             node: component_sets[component_of[node]] for node in output_nodes
         }
-        output_pages: set[PageId] = set()
-        for node in output_nodes:
-            output_pages.update(store.pages_of(component_of[node]))
-        engine.flush_output(output_pages)
-        metrics.distinct_tuples = sum(
-            bits.bit_count() * len(component_members[comp])
-            for comp, bits in component_sets.items()
+        if engine.supports(CAP_PAGE_COSTS):
+            output_pages: set[PageId] = set()
+            for node in output_nodes:
+                output_pages.update(store.pages_of(component_of[node]))
+            engine.flush_output(output_pages)
+        metrics.set_totals(
+            distinct_tuples=sum(
+                bits.bit_count() * len(component_members[comp])
+                for comp, bits in component_sets.items()
+            ),
+            output_tuples=sum(
+                bits.bit_count() for bits in successor_bits.values()
+            ),
+            cpu_seconds=time.process_time() - start,
         )
-        metrics.output_tuples = sum(bits.bit_count() for bits in successor_bits.values())
-        metrics.cpu_seconds = time.process_time() - start
 
         return ClosureResult(
             algorithm=self.name,
@@ -220,10 +230,12 @@ class SchmitzAlgorithm:
                 bits |= 1 << member
         component_sets[comp_id] = bits
         store.create_list(comp_id, bits.bit_count())
-        metrics.arcs_considered += arcs_considered
-        metrics.arcs_marked += arcs_marked
-        metrics.list_unions += unions
-        metrics.list_reads += unions
-        metrics.tuple_io += tuple_io
-        metrics.tuples_generated += generated
-        metrics.duplicates += duplicates
+        metrics.fold(
+            arcs_considered=arcs_considered,
+            arcs_marked=arcs_marked,
+            list_unions=unions,
+            list_reads=unions,
+            tuple_io=tuple_io,
+            tuples_generated=generated,
+            duplicates=duplicates,
+        )

@@ -22,9 +22,16 @@ from repro.core.query import Query, SystemConfig
 from repro.core.result import ClosureResult
 from repro.graphs.digraph import Digraph
 from repro.metrics.counters import MetricSet
-from repro.storage.engine import CAP_PAGE_COSTS, StorageEngine, make_engine
+from repro.storage.engine import (
+    CAP_PAGE_COSTS,
+    TUPLES_PER_PAGE,
+    PageId,
+    PageKind,
+    StorageEngine,
+    make_engine,
+    pages_needed,
+)
 from repro.storage.iostats import Phase
-from repro.storage.page import PageId, PageKind
 
 
 class SeminaiveAlgorithm:
@@ -66,7 +73,7 @@ class SeminaiveAlgorithm:
             delta[row] = bits
             delta_tuples += bits.bit_count()
             store.create_list(row, bits.bit_count())
-            metrics.tuples_generated += bits.bit_count()
+        metrics.fold(tuples_generated=delta_tuples)
         delta_page_counter = self._spool_delta(engine, 0, delta_tuples)
 
         # The join counters accumulate in locals and fold into
@@ -129,20 +136,25 @@ class SeminaiveAlgorithm:
             delta = new_delta
             delta_tuples = new_delta_tuples
         self.iterations = iterations
-        metrics.tuple_io += tuple_io
-        metrics.tuples_generated += tuples_generated
-        metrics.duplicates += duplicates
-        metrics.list_reads += list_reads
+        metrics.fold(
+            tuple_io=tuple_io,
+            tuples_generated=tuples_generated,
+            duplicates=duplicates,
+            list_reads=list_reads,
+        )
 
         metrics.io.phase = Phase.WRITEOUT
-        output_pages: set[PageId] = set()
         if engine.supports(CAP_PAGE_COSTS):
+            output_pages: set[PageId] = set()
             for row in rows:
                 output_pages.update(store.pages_of(row))
-        engine.flush_output(output_pages)
-        metrics.distinct_tuples = sum(map(int.bit_count, closure.values()))
-        metrics.output_tuples = metrics.distinct_tuples
-        metrics.cpu_seconds = time.process_time() - start
+            engine.flush_output(output_pages)
+        distinct = sum(map(int.bit_count, closure.values()))
+        metrics.set_totals(
+            distinct_tuples=distinct,
+            output_tuples=distinct,
+            cpu_seconds=time.process_time() - start,
+        )
 
         return ClosureResult(
             algorithm=self.name,
@@ -160,18 +172,17 @@ class SeminaiveAlgorithm:
         next iteration's :meth:`_scan_delta` reads back.  Delta pages
         get new numbers each round -- a delta file is never reused.
         """
-        from repro.storage.page import TUPLES_PER_PAGE, pages_needed
-
         num_pages = pages_needed(tuples, TUPLES_PER_PAGE)
-        for offset in range(num_pages):
-            engine.create_page(PageKind.DELTA, first_page + offset)
+        if engine.supports(CAP_PAGE_COSTS):
+            for offset in range(num_pages):
+                engine.create_page(PageKind.DELTA, first_page + offset)
         return first_page + num_pages
 
     @staticmethod
     def _scan_delta(engine: StorageEngine, end_page: int, tuples: int) -> None:
         """Sequentially read the current delta relation."""
-        from repro.storage.page import TUPLES_PER_PAGE, pages_needed
-
+        if not engine.supports(CAP_PAGE_COSTS):
+            return
         num_pages = pages_needed(tuples, TUPLES_PER_PAGE)
         for offset in range(num_pages):
             engine.touch_page(PageKind.DELTA, end_page - num_pages + offset)

@@ -23,9 +23,16 @@ from repro.core.query import Query, SystemConfig
 from repro.core.result import ClosureResult
 from repro.graphs.digraph import Digraph
 from repro.metrics.counters import MetricSet
-from repro.storage.engine import CAP_PAGE_COSTS, StorageEngine, make_engine
+from repro.storage.engine import (
+    CAP_PAGE_COSTS,
+    TUPLES_PER_PAGE,
+    PageId,
+    PageKind,
+    StorageEngine,
+    make_engine,
+    pages_needed,
+)
 from repro.storage.iostats import Phase
-from repro.storage.page import TUPLES_PER_PAGE, PageId, PageKind, pages_needed
 
 
 class SmartAlgorithm:
@@ -73,7 +80,7 @@ class SmartAlgorithm:
             delta[node] = bits
             delta_tuples += bits.bit_count()
             store.create_list(node, bits.bit_count())
-            metrics.tuples_generated += bits.bit_count()
+        metrics.fold(tuples_generated=delta_tuples)
         delta_pages_end = self._spool(engine, 0, delta_tuples)
 
         # The join counters accumulate in locals and fold into
@@ -120,19 +127,23 @@ class SmartAlgorithm:
             delta_tuples = new_delta_tuples
             delta_pages_end = self._spool(engine, delta_pages_end, delta_tuples)
         self.iterations = iterations
-        metrics.list_reads += list_reads
-        metrics.tuples_generated += tuples_generated
-        metrics.duplicates += duplicates
+        metrics.fold(
+            list_reads=list_reads,
+            tuples_generated=tuples_generated,
+            duplicates=duplicates,
+        )
 
         metrics.io.phase = Phase.WRITEOUT
-        output_pages: set[PageId] = set()
         if engine.supports(CAP_PAGE_COSTS):
+            output_pages: set[PageId] = set()
             for row in rows:
                 output_pages.update(store.pages_of(row))
-        engine.flush_output(output_pages)
-        metrics.distinct_tuples = sum(map(int.bit_count, closure.values()))
-        metrics.output_tuples = sum(closure[row].bit_count() for row in rows)
-        metrics.cpu_seconds = time.process_time() - start
+            engine.flush_output(output_pages)
+        metrics.set_totals(
+            distinct_tuples=sum(map(int.bit_count, closure.values())),
+            output_tuples=sum(closure[row].bit_count() for row in rows),
+            cpu_seconds=time.process_time() - start,
+        )
 
         return ClosureResult(
             algorithm=self.name,
@@ -145,12 +156,15 @@ class SmartAlgorithm:
     @staticmethod
     def _spool(engine: StorageEngine, first_page: int, tuples: int) -> int:
         num_pages = pages_needed(tuples, TUPLES_PER_PAGE)
-        for offset in range(num_pages):
-            engine.create_page(PageKind.DELTA, first_page + offset)
+        if engine.supports(CAP_PAGE_COSTS):
+            for offset in range(num_pages):
+                engine.create_page(PageKind.DELTA, first_page + offset)
         return first_page + num_pages
 
     @staticmethod
     def _scan(engine: StorageEngine, end_page: int, tuples: int) -> None:
+        if not engine.supports(CAP_PAGE_COSTS):
+            return
         num_pages = pages_needed(tuples, TUPLES_PER_PAGE)
         for offset in range(num_pages):
             engine.touch_page(PageKind.DELTA, end_page - num_pages + offset)

@@ -34,9 +34,14 @@ from repro.core.query import Query, SystemConfig
 from repro.core.result import ClosureResult
 from repro.graphs.digraph import Digraph
 from repro.metrics.counters import MetricSet
-from repro.storage.engine import CAP_PAGE_COSTS, make_engine
+from repro.storage.engine import (
+    CAP_PAGE_COSTS,
+    PAGE_SIZE,
+    PageId,
+    PageKind,
+    make_engine,
+)
 from repro.storage.iostats import Phase
-from repro.storage.page import PAGE_SIZE, PageId, PageKind
 
 
 class WarrenAlgorithm:
@@ -67,6 +72,8 @@ class WarrenAlgorithm:
         charged = engine.supports(CAP_PAGE_COSTS)
 
         def touch_row(row: int, dirty: bool = False) -> None:
+            if not charged:
+                return
             engine.touch_page(PageKind.SUCCESSOR, row // rows_per_page, dirty=dirty)
 
         # Load phase: build the matrix from a relation scan.
@@ -117,21 +124,25 @@ class WarrenAlgorithm:
                     row_i = matrix[i] = merged
                     if added and charged:
                         touch_row(i, dirty=True)
-        metrics.list_unions += list_unions
-        metrics.tuples_generated += tuples_generated
-        metrics.duplicates += duplicates
+        metrics.fold(
+            list_unions=list_unions,
+            tuples_generated=tuples_generated,
+            duplicates=duplicates,
+        )
 
         metrics.io.phase = Phase.WRITEOUT
         if query.is_full:
             output_rows = list(range(n))
         else:
             output_rows = list(query.sources or ())
-        output_pages = {row_page(row) for row in output_rows} if charged else set()
-        engine.flush_output(output_pages)
+        if charged:
+            engine.flush_output({row_page(row) for row in output_rows})
 
-        metrics.distinct_tuples = sum(map(int.bit_count, matrix))
-        metrics.output_tuples = sum(matrix[row].bit_count() for row in output_rows)
-        metrics.cpu_seconds = time.process_time() - start
+        metrics.set_totals(
+            distinct_tuples=sum(map(int.bit_count, matrix)),
+            output_tuples=sum(matrix[row].bit_count() for row in output_rows),
+            cpu_seconds=time.process_time() - start,
+        )
 
         return ClosureResult(
             algorithm=self.name,

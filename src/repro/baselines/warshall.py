@@ -19,9 +19,14 @@ from repro.core.query import Query, SystemConfig
 from repro.core.result import ClosureResult
 from repro.graphs.digraph import Digraph
 from repro.metrics.counters import MetricSet
-from repro.storage.engine import CAP_PAGE_COSTS, make_engine
+from repro.storage.engine import (
+    CAP_PAGE_COSTS,
+    PAGE_SIZE,
+    PageId,
+    PageKind,
+    make_engine,
+)
 from repro.storage.iostats import Phase
-from repro.storage.page import PAGE_SIZE, PageId, PageKind
 
 
 class WarshallAlgorithm:
@@ -52,6 +57,8 @@ class WarshallAlgorithm:
         charged = engine.supports(CAP_PAGE_COSTS)
 
         def touch_row(row: int, dirty: bool = False) -> None:
+            if not charged:
+                return
             engine.touch_page(PageKind.SUCCESSOR, row // rows_per_page, dirty=dirty)
 
         metrics.io.phase = Phase.RESTRUCTURE
@@ -103,20 +110,24 @@ class WarshallAlgorithm:
                         column[bit.bit_length() - 1] |= 1 << row
                         value ^= bit
 
-        metrics.list_unions += list_unions
-        metrics.tuples_generated += tuples_generated
-        metrics.duplicates += duplicates
+        metrics.fold(
+            list_unions=list_unions,
+            tuples_generated=tuples_generated,
+            duplicates=duplicates,
+        )
 
         metrics.io.phase = Phase.WRITEOUT
         if query.is_full:
             output_rows = list(range(n))
         else:
             output_rows = list(dict.fromkeys(query.sources or ()))
-        output_pages = {row_page(row) for row in output_rows} if charged else set()
-        engine.flush_output(output_pages)
-        metrics.distinct_tuples = sum(map(int.bit_count, matrix))
-        metrics.output_tuples = sum(matrix[row].bit_count() for row in output_rows)
-        metrics.cpu_seconds = time.process_time() - start
+        if charged:
+            engine.flush_output({row_page(row) for row in output_rows})
+        metrics.set_totals(
+            distinct_tuples=sum(map(int.bit_count, matrix)),
+            output_tuples=sum(matrix[row].bit_count() for row in output_rows),
+            cpu_seconds=time.process_time() - start,
+        )
 
         return ClosureResult(
             algorithm=self.name,

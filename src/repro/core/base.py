@@ -34,9 +34,8 @@ from repro.core.result import ClosureResult
 from repro.errors import CyclicGraphError, InvalidNodeError
 from repro.graphs.digraph import Digraph
 from repro.obs.spans import SpanRecorder, span
-from repro.storage.engine import CAP_PAGE_COSTS
+from repro.storage.engine import CAP_PAGE_COSTS, PageId
 from repro.storage.iostats import Phase
-from repro.storage.page import PageId
 from repro.storage.trace import PageTrace
 
 
@@ -135,7 +134,9 @@ class TwoPhaseAlgorithm(ABC):
             with span("restructure", recorder):
                 ctx.enter_phase(Phase.RESTRUCTURE)
                 self.restructure(ctx)
-            ctx.metrics.restructure_cpu_seconds = time.process_time() - start
+            ctx.metrics.set_totals(
+                restructure_cpu_seconds=time.process_time() - start
+            )
 
             with span("compute", recorder):
                 ctx.enter_phase(Phase.COMPUTE)
@@ -145,7 +146,7 @@ class TwoPhaseAlgorithm(ABC):
                 ctx.enter_phase(Phase.WRITEOUT)
                 output_nodes = self.write_out(ctx)
 
-            ctx.metrics.cpu_seconds = time.process_time() - start
+            ctx.metrics.set_totals(cpu_seconds=time.process_time() - start)
 
         if ctx.auditor is not None:
             # The end-of-run invariant sweep: pool residency/pinning,
@@ -174,25 +175,27 @@ class TwoPhaseAlgorithm(ABC):
             ctx.engine.scan_relation()
             ctx.in_scope = set(graph.nodes())
             ctx.adjacency = graph.adjacency_lists()
-            ctx.metrics.tuple_io += graph.num_arcs
+            ctx.metrics.fold(tuple_io=graph.num_arcs)
             return
 
         seen: set[int] = set()
         stack = list(query.sources or ())
         adjacency: dict[int, list[int]] = {}
+        tuple_io = 0
         while stack:
             node = stack.pop()
             if node in seen:
                 continue
             seen.add(node)
             children = ctx.engine.read_successors(node)
-            ctx.metrics.tuple_io += len(children)
+            tuple_io += len(children)
             # Children of a reachable node are reachable, so the whole
             # successor list stays in the magic graph.
             adjacency[node] = list(children)
             for child in children:
                 if child not in seen:
                     stack.append(child)
+        ctx.metrics.fold(tuple_io=tuple_io)
         ctx.in_scope = seen
         ctx.adjacency = adjacency
 
@@ -263,17 +266,19 @@ class TwoPhaseAlgorithm(ABC):
             output_nodes = list(ctx.topo_order)
         else:
             output_nodes = [s for s in ctx.query.sources or () if s in ctx.in_scope]
-        output_pages: set[PageId] = set()
         if ctx.engine.supports(CAP_PAGE_COSTS):
+            output_pages: set[PageId] = set()
             pages_of = ctx.store.pages_of
             for node in output_nodes:
                 output_pages.update(pages_of(node))
-        ctx.engine.flush_output(output_pages)
+            ctx.engine.flush_output(output_pages)
 
         lists_get = ctx.lists.get
-        ctx.metrics.distinct_tuples = sum(map(int.bit_count, ctx.lists.values()))
-        ctx.metrics.output_tuples = sum(
-            lists_get(node, 0).bit_count() for node in output_nodes
+        ctx.metrics.set_totals(
+            distinct_tuples=sum(map(int.bit_count, ctx.lists.values())),
+            output_tuples=sum(
+                lists_get(node, 0).bit_count() for node in output_nodes
+            ),
         )
         return output_nodes
 

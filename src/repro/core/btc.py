@@ -69,12 +69,13 @@ class BtcAlgorithm(TwoPhaseAlgorithm):
                     append(node, added)
             lists[node] = node_list
             acquired[node] = node_acquired
-        metrics = ctx.metrics
-        metrics.arcs_considered += arcs_considered
-        metrics.arcs_marked += arcs_marked
-        metrics.unmarked_locality_total += locality
-        metrics.list_unions += list_unions
-        metrics.list_reads += list_unions
-        metrics.tuple_io += tuple_io
-        metrics.tuples_generated += generated
-        metrics.duplicates += duplicates
+        ctx.metrics.fold(
+            arcs_considered=arcs_considered,
+            arcs_marked=arcs_marked,
+            unmarked_locality_total=locality,
+            list_unions=list_unions,
+            list_reads=list_unions,
+            tuple_io=tuple_io,
+            tuples_generated=generated,
+            duplicates=duplicates,
+        )

@@ -46,8 +46,7 @@ from dataclasses import dataclass, field
 
 from repro.core.base import TwoPhaseAlgorithm
 from repro.core.context import ExecutionContext
-from repro.storage.engine import CAP_PAGE_COSTS
-from repro.storage.page import PageId, PageKind
+from repro.storage.engine import CAP_PAGE_COSTS, PageId, PageKind
 
 
 # A tree node is a plain two-slot list ``[node_id, children]`` rather
@@ -115,22 +114,26 @@ class ComputeTreeAlgorithm(TwoPhaseAlgorithm):
         in_scope = ctx.in_scope
         predecessors: dict[int, list[int]] = {}
         pred_store = ctx.engine.make_list_store(PageKind.PREDECESSOR)
+        charged = ctx.engine.supports(CAP_PAGE_COSTS)
+        tuple_io = 0
         for node in ctx.topo_order:
             all_preds = ctx.graph.predecessors(node)
             if self.dual_representation:
                 if all_preds:
                     ctx.engine.read_predecessors(node)
-                    ctx.metrics.tuple_io += len(all_preds)
+                    tuple_io += len(all_preds)
             else:
                 # No inverse index: one scattered page access per
                 # predecessor arc retrieved.
-                ctx.engine.probe_arcs_unclustered(
-                    len(all_preds), seed_position=node
-                )
-                ctx.metrics.tuple_io += len(all_preds)
+                if charged:
+                    ctx.engine.probe_arcs_unclustered(
+                        len(all_preds), seed_position=node
+                    )
+                tuple_io += len(all_preds)
             magic_preds = [p for p in all_preds if p in in_scope]
             predecessors[node] = magic_preds
             pred_store.create_list(node, len(magic_preds))
+        ctx.metrics.fold(tuple_io=tuple_io)
         self._predecessors = predecessors
         self._pred_store = pred_store
 
@@ -153,7 +156,7 @@ class ComputeTreeAlgorithm(TwoPhaseAlgorithm):
         # The per-arc counters accumulate in locals and fold into
         # ``metrics`` once at the end -- the final totals (and every
         # storage call, in the same order) are identical.
-        arcs_considered = arcs_marked = locality = unions = 0
+        arcs_considered = arcs_marked = locality = unions = branch_nodes = 0
 
         for node in ctx.topo_order:
             tree = _SpecialTree()
@@ -214,18 +217,21 @@ class ComputeTreeAlgorithm(TwoPhaseAlgorithm):
                 tree_ids.add(node)
                 if node in sources:
                     tree.source_bits |= 1 << node
-                metrics.tuples_generated += 1
+                branch_nodes += 1
             elif merged_roots:
                 tree.root = merged_roots[0]
             trees[node] = tree
             store_create(node, tree.stored_entries)
             lists[node] = 0  # flat lists are not used by JKB
 
-        metrics.arcs_considered += arcs_considered
-        metrics.arcs_marked += arcs_marked
-        metrics.unmarked_locality_total += locality
-        metrics.list_unions += unions
-        metrics.list_reads += unions
+        metrics.fold(
+            arcs_considered=arcs_considered,
+            arcs_marked=arcs_marked,
+            unmarked_locality_total=locality,
+            list_unions=unions,
+            list_reads=unions,
+            tuples_generated=branch_nodes,
+        )
 
     def _merge(
         self,
@@ -262,8 +268,7 @@ class ComputeTreeAlgorithm(TwoPhaseAlgorithm):
             # Present already, with every source that reaches it (see
             # module docstring): a duplicate encounter -- prune the
             # whole contribution without deriving anything.
-            metrics.tuple_io += tuple_io
-            metrics.duplicates += duplicates + 1
+            metrics.fold(tuple_io=tuple_io, duplicates=duplicates + 1)
             return None
         # Each frame: [node, next_child_index, surviving_children].
         # Leaves never get a frame of their own -- they are visited
@@ -322,9 +327,9 @@ class ComputeTreeAlgorithm(TwoPhaseAlgorithm):
                         stack[-1][2].append(copy)
                     else:
                         result = copy
-        metrics.tuple_io += tuple_io
-        metrics.duplicates += duplicates
-        metrics.tuples_generated += generated
+        metrics.fold(
+            tuple_io=tuple_io, duplicates=duplicates, tuples_generated=generated
+        )
         tree.source_bits |= source_bits
         tree.internal_count += internal
         return result
@@ -371,8 +376,11 @@ class ComputeTreeAlgorithm(TwoPhaseAlgorithm):
             output_store.create_list(source, count)
             if charged:
                 output_pages.update(output_store.pages_of(source))
-        ctx.engine.flush_output(output_pages)
+        if charged:
+            ctx.engine.flush_output(output_pages)
 
-        metrics.distinct_tuples = sum(len(tree.ids) for tree in trees.values())
-        metrics.output_tuples = output_tuples
+        metrics.set_totals(
+            distinct_tuples=sum(len(tree.ids) for tree in trees.values()),
+            output_tuples=output_tuples,
+        )
         return output_nodes

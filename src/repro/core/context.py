@@ -143,24 +143,19 @@ class ExecutionContext:
         added successors are appended to the target's list in the
         engine's store.
         """
-        metrics = self.metrics
         store = self.engine.store
         lists = self.lists
-        metrics.list_unions += 1
-        metrics.list_reads += 1
         store.read_list(child)
 
         source_bits = lists[child] | (1 << child)
         read_tuples = store.length(child)
-        metrics.tuple_io += read_tuples
-        metrics.tuples_generated += read_tuples
 
         before = lists[target]
         # ``child`` itself is an immediate successor already present in
         # the target's restructured list, so only the child's proper
         # successor list can contribute new entries.
         added = (source_bits & ~before).bit_count()
-        metrics.duplicates += read_tuples - added
+        self.metrics.count_union(read_tuples, read_tuples - added)
 
         lists[target] = before | source_bits
         acquired = self.acquired

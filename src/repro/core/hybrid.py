@@ -25,7 +25,7 @@ from repro.core.base import TwoPhaseAlgorithm
 from repro.core.btc import BtcAlgorithm
 from repro.core.context import ExecutionContext
 from repro.errors import BufferPoolExhaustedError
-from repro.storage.page import PageId
+from repro.storage.engine import CAP_PINNING, PageId
 
 
 class HybridAlgorithm(TwoPhaseAlgorithm):
@@ -73,26 +73,32 @@ class HybridAlgorithm(TwoPhaseAlgorithm):
 
     def _expand_block(self, ctx: ExecutionContext, block: list[int]) -> None:
         diagonal = set(block)
-        pinned: set[PageId] = set()
+        # Insertion-ordered: the unpin sweeps below iterate it, and a
+        # set of PageIds would iterate in hash order.
+        pinned: dict[PageId, None] = {}
         unpinned_lists: set[int] = set()
         metrics = ctx.metrics
         position = ctx.position
+        can_pin = ctx.engine.supports(CAP_PINNING)
 
         def pin_list(node: int) -> None:
             if node in unpinned_lists:
                 return
             for page in ctx.store.pages_of(node):
                 if page not in pinned:
-                    try:
-                        ctx.engine.pin_page(page)
-                    except BufferPoolExhaustedError:
-                        reblock()
-                        ctx.engine.pin_page(page)
-                    pinned.add(page)
+                    if can_pin:
+                        try:
+                            ctx.engine.pin_page(page)
+                        except BufferPoolExhaustedError:
+                            reblock()
+                            ctx.engine.pin_page(page)
+                    pinned[page] = None
 
         def reblock() -> None:
             """Dynamic reblocking: discard the largest pinned list."""
-            metrics.reblocking_events += 1
+            # Folded immediately (not accumulated) so the count survives
+            # the raise below when the block cannot shrink any further.
+            metrics.fold(reblocking_events=1)
             victim = max(
                 (node for node in block if node not in unpinned_lists),
                 key=ctx.store.page_count,
@@ -109,48 +115,62 @@ class HybridAlgorithm(TwoPhaseAlgorithm):
                     still_needed.update(ctx.store.pages_of(node))
             for page in list(pinned):
                 if page not in still_needed:
-                    ctx.engine.unpin_page(page)
-                    pinned.discard(page)
+                    if can_pin:
+                        ctx.engine.unpin_page(page)
+                    del pinned[page]
 
-        for node in block:
-            pin_list(node)
+        arcs_considered = arcs_marked = locality = 0
+        try:
+            for node in block:
+                pin_list(node)
 
-        # Pass 1: off-diagonal children, grouped so one fetch of an
-        # off-diagonal list serves every diagonal list that needs it.
-        needers: dict[int, list[int]] = {}
-        for node in block:
-            for child in ctx.adjacency[node]:
-                if child not in diagonal:
-                    needers.setdefault(child, []).append(node)
-        # Off-diagonal lists are visited nearest-first (highest
-        # topological position first), mirroring the right-to-left scan
-        # of the successor matrix in Figure 2.
-        for child in sorted(needers, key=position.__getitem__, reverse=True):
-            for node in sorted(needers[child], key=position.__getitem__, reverse=True):
-                metrics.arcs_considered += 1
-                if (ctx.acquired[node] >> child) & 1:
-                    metrics.arcs_marked += 1
-                    continue
-                metrics.unmarked_locality_total += ctx.arc_locality(node, child)
-                self._guarded_union(ctx, node, child, reblock, pin_list)
+            # Pass 1: off-diagonal children, grouped so one fetch of an
+            # off-diagonal list serves every diagonal list that needs it.
+            needers: dict[int, list[int]] = {}
+            for node in block:
+                for child in ctx.adjacency[node]:
+                    if child not in diagonal:
+                        needers.setdefault(child, []).append(node)
+            # Off-diagonal lists are visited nearest-first (highest
+            # topological position first), mirroring the right-to-left scan
+            # of the successor matrix in Figure 2.
+            for child in sorted(needers, key=position.__getitem__, reverse=True):
+                for node in sorted(
+                    needers[child], key=position.__getitem__, reverse=True
+                ):
+                    arcs_considered += 1
+                    if (ctx.acquired[node] >> child) & 1:
+                        arcs_marked += 1
+                        continue
+                    locality += ctx.arc_locality(node, child)
+                    self._guarded_union(ctx, node, child, reblock, pin_list)
 
-        # Pass 2: diagonal children, in the strict reverse topological
-        # order (a diagonal child's own expansion is already complete).
-        for node in sorted(block, key=position.__getitem__, reverse=True):
-            children = sorted(
-                (child for child in ctx.adjacency[node] if child in diagonal),
-                key=position.__getitem__,
+            # Pass 2: diagonal children, in the strict reverse topological
+            # order (a diagonal child's own expansion is already complete).
+            for node in sorted(block, key=position.__getitem__, reverse=True):
+                children = sorted(
+                    (child for child in ctx.adjacency[node] if child in diagonal),
+                    key=position.__getitem__,
+                )
+                for child in children:
+                    arcs_considered += 1
+                    if (ctx.acquired[node] >> child) & 1:
+                        arcs_marked += 1
+                        continue
+                    locality += ctx.arc_locality(node, child)
+                    self._guarded_union(ctx, node, child, reblock, pin_list)
+        finally:
+            # The fold runs even when reblocking exhausts the pool, so
+            # an aborted run still reports the arcs it processed.
+            metrics.fold(
+                arcs_considered=arcs_considered,
+                arcs_marked=arcs_marked,
+                unmarked_locality_total=locality,
             )
-            for child in children:
-                metrics.arcs_considered += 1
-                if (ctx.acquired[node] >> child) & 1:
-                    metrics.arcs_marked += 1
-                    continue
-                metrics.unmarked_locality_total += ctx.arc_locality(node, child)
-                self._guarded_union(ctx, node, child, reblock, pin_list)
 
-        for page in pinned:
-            ctx.engine.unpin_page(page)
+        if can_pin:
+            for page in pinned:
+                ctx.engine.unpin_page(page)
 
     def _guarded_union(self, ctx, node, child, reblock, pin_list) -> None:
         """A union that shrinks the block when memory pressure builds.

@@ -13,8 +13,13 @@ from collections.abc import Iterable
 from dataclasses import dataclass
 
 from repro.errors import ConfigurationError
-from repro.storage.engine import ENGINE_NAMES, ListPlacementPolicy, default_engine
-from repro.storage.page import BLOCK_CAPACITY, BLOCKS_PER_PAGE
+from repro.storage.engine import (
+    BLOCK_CAPACITY,
+    BLOCKS_PER_PAGE,
+    ENGINE_NAMES,
+    ListPlacementPolicy,
+    default_engine,
+)
 
 
 @dataclass(frozen=True)

@@ -38,6 +38,7 @@ class SearchAlgorithm(TwoPhaseAlgorithm):
         metrics = ctx.metrics
         adjacency: dict[int, list[int]] = {}
         scope: set[int] = set()
+        list_unions = tuple_io = arcs_considered = duplicates = 0
 
         for source in ctx.query.sources or ():
             ctx.store.create_list(source, 0)
@@ -54,16 +55,14 @@ class SearchAlgorithm(TwoPhaseAlgorithm):
                 if children:
                     # Union of S_source with the *immediate* successor
                     # list of the reached node.
-                    metrics.list_unions += 1
-                    metrics.list_reads += 1
-                    metrics.tuple_io += len(children)
-                    metrics.tuples_generated += len(children)
-                    metrics.arcs_considered += len(children)
+                    list_unions += 1
+                    tuple_io += len(children)
+                    arcs_considered += len(children)
                     bits = 0
                     for child in children:
                         bits |= 1 << child
                     added = (bits & ~reached_bits).bit_count()
-                    metrics.duplicates += len(children) - added
+                    duplicates += len(children) - added
                     reached_bits |= bits
                     if added:
                         ctx.store.append(source, added)
@@ -73,15 +72,25 @@ class SearchAlgorithm(TwoPhaseAlgorithm):
                         stack.append(child)
             ctx.lists[source] = reached_bits
 
+        metrics.fold(
+            list_unions=list_unions,
+            list_reads=list_unions,
+            tuple_io=tuple_io,
+            tuples_generated=tuple_io,
+            arcs_considered=arcs_considered,
+            duplicates=duplicates,
+        )
         # Fill in the context's scope/profile state so reports and the
         # locality metric are comparable with the other algorithms.
         ctx.adjacency = adjacency
         ctx.in_scope = scope
         self.sort_and_profile(ctx)
-        metrics.unmarked_locality_total = sum(
-            ctx.levels[src] - ctx.levels[dst]
-            for src, children in adjacency.items()
-            for dst in children
+        metrics.set_totals(
+            unmarked_locality_total=sum(
+                ctx.levels[src] - ctx.levels[dst]
+                for src, children in adjacency.items()
+                for dst in children
+            )
         )
         # Every arc of the searched subgraph is "considered" once per
         # source that traverses it; the locality average, however, is
@@ -98,8 +107,10 @@ class SearchAlgorithm(TwoPhaseAlgorithm):
         # distinct-arc average (no arcs are ever marked by SRCH).
         metrics = ctx.metrics
         if self._distinct_arcs and metrics.arcs_considered:
-            metrics.unmarked_locality_total = round(
-                metrics.unmarked_locality_total
-                * (metrics.arcs_considered / self._distinct_arcs)
+            metrics.set_totals(
+                unmarked_locality_total=round(
+                    metrics.unmarked_locality_total
+                    * (metrics.arcs_considered / self._distinct_arcs)
+                )
             )
         return output_nodes

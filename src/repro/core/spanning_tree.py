@@ -26,8 +26,7 @@ from dataclasses import dataclass, field
 
 from repro.core.base import TwoPhaseAlgorithm
 from repro.core.context import ExecutionContext
-from repro.storage.engine import CAP_PAGE_COSTS
-from repro.storage.page import BLOCK_CAPACITY
+from repro.storage.engine import BLOCK_CAPACITY, CAP_PAGE_COSTS
 
 
 @dataclass
@@ -75,26 +74,28 @@ class SpanningTreeAlgorithm(TwoPhaseAlgorithm):
         # Engines without a page-cost model ignore the per-union list of
         # visited blocks, so tracking it would be pure overhead.
         self._charged = ctx.engine.supports(CAP_PAGE_COSTS)
+        arcs_considered = arcs_marked = locality = 0
         for node in reversed(ctx.topo_order):
             children = sorted(ctx.adjacency[node], key=position.__getitem__)
             for child in children:
-                metrics.arcs_considered += 1
+                arcs_considered += 1
                 if (ctx.lists[node] >> child) & 1:
                     # The child entered this tree inside an earlier
                     # child's subtree: the arc is redundant.
-                    metrics.arcs_marked += 1
+                    arcs_marked += 1
                     continue
-                metrics.unmarked_locality_total += ctx.arc_locality(node, child)
+                locality += ctx.arc_locality(node, child)
                 self._union_tree(ctx, node, child)
+        metrics.fold(
+            arcs_considered=arcs_considered,
+            arcs_marked=arcs_marked,
+            unmarked_locality_total=locality,
+        )
 
     # -- tree union --------------------------------------------------------------
 
     def _union_tree(self, ctx: ExecutionContext, target: int, child: int) -> None:
         """Graft ``child`` and the unpruned part of its tree onto ``target``."""
-        metrics = ctx.metrics
-        metrics.list_unions += 1
-        metrics.list_reads += 1
-
         charged = self._charged
         target_tree = self._trees[target]
         child_tree = self._trees[child]
@@ -152,9 +153,9 @@ class SpanningTreeAlgorithm(TwoPhaseAlgorithm):
         lists[target] = target_bits
         target_tree.entry_count = entry_count
 
-        metrics.duplicates += duplicates
-        metrics.tuples_generated += visited_tuples
-        metrics.tuple_io += visited_tuples
+        # One tree union charges like one list union: one list I/O,
+        # ``visited_tuples`` entries read and generated.
+        ctx.metrics.count_union(visited_tuples, duplicates)
 
         ctx.store.read_blocks(child, sorted(visited_blocks))
         appended = target_tree.entry_count - appended_before

@@ -1,0 +1,47 @@
+"""repro-lint: AST-based invariant analysis for this repository.
+
+The reproduction rests on invariants that ordinary linters cannot see:
+algorithm code must stay behind the :class:`~repro.storage.engine.
+StorageEngine` seam, every code path must be bit-deterministic (the
+parallel engine, ``--resume`` and the engine-parity goldens all depend
+on it), page-cost bookkeeping must be guarded by ``CAP_*`` capability
+checks, counters must flow through the sanctioned
+:class:`~repro.metrics.counters.MetricSet` fold API, and the journal
+and sink write paths must flush + fsync.  ``repro-lint`` walks the
+parsed AST of a file set and enforces exactly those rules:
+
+========  ==================================================================
+RPL001    seam isolation -- no substrate imports outside ``repro/storage/``
+RPL002    determinism hygiene -- no wall clock, unseeded RNG or
+          unordered set iteration on deterministic paths
+RPL003    counter discipline -- counter writes go through the MetricSet API
+RPL004    capability guards -- page-cost/pinning engine hooks are dominated
+          by a ``CAP_*`` check
+RPL005    exception hygiene -- no bare/swallowed ``except`` on chaos paths
+RPL006    fsync discipline -- journal/sink writes flush and fsync
+========  ==================================================================
+
+Run it as ``python -m repro.lint [paths]`` or via the ``repro-lint``
+console script.  Findings can be suppressed inline with
+``# repro-lint: disable=RPL001`` (or ``disable`` for all rules) on the
+offending line, or grandfathered wholesale in a JSON baseline file
+(``--baseline``).  See ``docs/STATIC_ANALYSIS.md``.
+"""
+
+from repro.lint.baseline import load_baseline, write_baseline
+from repro.lint.config import LintConfig
+from repro.lint.framework import FileContext, Finding, Rule, lint_paths, lint_source
+from repro.lint.rules import ALL_RULES, make_rules
+
+__all__ = [
+    "ALL_RULES",
+    "FileContext",
+    "Finding",
+    "LintConfig",
+    "Rule",
+    "lint_paths",
+    "lint_source",
+    "load_baseline",
+    "make_rules",
+    "write_baseline",
+]

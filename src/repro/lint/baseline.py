@@ -1,0 +1,62 @@
+"""Baseline files: grandfathering existing findings without fixing them.
+
+A baseline is a JSON file holding the fingerprints of known findings.
+A lint run with ``--baseline`` subtracts every baselined fingerprint
+from its output, so new code is held to the rules while legacy findings
+are burned down independently.  ``--write-baseline`` records the
+current findings; an **empty** baseline (the checked-in default --
+``src/`` is clean) is simply ``{"version": 1, "findings": []}``.
+
+Fingerprints are line-number independent (rule, file, message), so
+grandfathered findings survive unrelated edits above them.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.lint.framework import Finding
+
+BASELINE_VERSION = 1
+"""Bump when the baseline layout changes incompatibly."""
+
+
+def load_baseline(path: str | Path) -> set[tuple[str, str, str]]:
+    """Load the fingerprints of a baseline file.
+
+    A missing file is an empty baseline; a malformed one raises
+    ``ValueError`` (a broken baseline silently un-suppressing -- or
+    worse, suppressing -- findings would defeat the gate).
+    """
+    baseline_path = Path(path)
+    if not baseline_path.exists():
+        return set()
+    try:
+        data = json.loads(baseline_path.read_text(encoding="utf-8"))
+        entries = data["findings"]
+        return {
+            (entry["code"], entry["path"], entry["message"]) for entry in entries
+        }
+    except (json.JSONDecodeError, KeyError, TypeError) as exc:
+        raise ValueError(f"malformed baseline file {baseline_path}: {exc}") from exc
+
+
+def write_baseline(path: str | Path, findings: list[Finding]) -> int:
+    """Write the given findings as the new baseline; returns the count.
+
+    Entries are sorted and deduplicated by fingerprint so the file is
+    stable under re-runs and merges cleanly.
+    """
+    fingerprints = sorted({finding.fingerprint() for finding in findings})
+    payload = {
+        "version": BASELINE_VERSION,
+        "findings": [
+            {"code": code, "path": file_path, "message": message}
+            for code, file_path, message in fingerprints
+        ],
+    }
+    Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return len(fingerprints)

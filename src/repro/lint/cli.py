@@ -1,0 +1,162 @@
+"""Command line front-end: ``python -m repro.lint`` / ``repro-lint``.
+
+Exit codes follow the CI convention: 0 clean, 1 findings, 2 usage or
+internal error.  Defaults come from ``[tool.repro-lint]`` in the
+nearest ``pyproject.toml``; command-line flags override.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections.abc import Sequence
+
+from repro.lint.baseline import load_baseline, write_baseline
+from repro.lint.config import LintConfig, load_pyproject_config
+from repro.lint.framework import LintResult, lint_paths
+from repro.lint.rules import ALL_RULES, make_rules
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_ERROR = 2
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="AST-based invariant linter for the repro codebase",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        default=None,
+        metavar="CODES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore",
+        action="append",
+        default=None,
+        metavar="CODES",
+        help="comma-separated rule codes to skip",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="PATH",
+        help="baseline file of grandfathered findings to subtract",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write the current findings to the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--no-config",
+        action="store_true",
+        help="ignore [tool.repro-lint] in pyproject.toml",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list the registered rules and exit",
+    )
+    return parser
+
+
+def _split_codes(values: list[str] | None) -> list[str]:
+    codes: list[str] = []
+    for value in values or []:
+        codes.extend(part.strip().upper() for part in value.split(",") if part.strip())
+    return codes
+
+
+def _resolve_config(args: argparse.Namespace) -> LintConfig:
+    config = LintConfig() if args.no_config else load_pyproject_config()
+    if args.select is not None:
+        config.select = _split_codes(args.select)
+    if args.ignore is not None:
+        config.ignore = _split_codes(args.ignore)
+    if args.baseline is not None:
+        config.baseline = args.baseline
+    return config
+
+
+def _render_text(result: LintResult, out: object = None) -> None:
+    stream = out or sys.stdout
+    for finding in result.findings:
+        print(finding.render(), file=stream)
+    summary = (
+        f"{len(result.findings)} finding(s) in {result.files} file(s)"
+        f" ({result.suppressed} suppressed, {result.baselined} baselined)"
+    )
+    print(summary, file=stream)
+
+
+def _render_json(result: LintResult) -> None:
+    payload = {
+        "findings": [finding.to_dict() for finding in result.findings],
+        "files": result.files,
+        "suppressed": result.suppressed,
+        "baselined": result.baselined,
+    }
+    print(json.dumps(payload, indent=2, sort_keys=True))
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule_class in ALL_RULES:
+            print(f"{rule_class.code}  {rule_class.name}: {rule_class.summary}")
+        return EXIT_CLEAN
+
+    try:
+        config = _resolve_config(args)
+        rules = make_rules(config)
+        if not rules:
+            print("repro-lint: no rules selected", file=sys.stderr)
+            return EXIT_ERROR
+        baseline: set[tuple[str, str, str]] | None = None
+        if config.baseline and not args.write_baseline:
+            baseline = load_baseline(config.baseline)
+        result = lint_paths(args.paths, rules, baseline=baseline)
+    except ValueError as exc:
+        print(f"repro-lint: {exc}", file=sys.stderr)
+        return EXIT_ERROR
+
+    if args.write_baseline:
+        if not config.baseline:
+            print(
+                "repro-lint: --write-baseline needs --baseline or a "
+                "configured baseline path",
+                file=sys.stderr,
+            )
+            return EXIT_ERROR
+        count = write_baseline(config.baseline, result.findings)
+        print(f"wrote {count} finding(s) to {config.baseline}")
+        return EXIT_CLEAN
+
+    if args.format == "json":
+        _render_json(result)
+    else:
+        _render_text(result)
+    return EXIT_FINDINGS if result.findings else EXIT_CLEAN
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,91 @@
+"""Lint configuration: rule selection and per-rule options.
+
+Configuration merges three layers, weakest first:
+
+1. built-in defaults (every rule enabled, repo-layout scopes);
+2. ``[tool.repro-lint]`` in ``pyproject.toml`` -- ``select``,
+   ``ignore``, ``baseline`` keys plus per-rule tables like
+   ``[tool.repro-lint.rpl002]`` whose keys are handed to the rule's
+   :meth:`~repro.lint.framework.Rule.configure`;
+3. command-line flags (``--select``/``--ignore``/``--baseline``).
+
+Rule codes are case-insensitive everywhere.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+if sys.version_info >= (3, 11):  # pragma: no cover - version dispatch
+    import tomllib
+else:  # pragma: no cover - the image ships 3.11; kept for 3.10 support
+    tomllib = None  # type: ignore[assignment]
+
+
+@dataclass
+class LintConfig:
+    """Resolved configuration for one lint run."""
+
+    select: list[str] = field(default_factory=list)
+    """Rule codes to run; empty means every registered rule."""
+
+    ignore: list[str] = field(default_factory=list)
+    """Rule codes to skip (applied after ``select``)."""
+
+    baseline: str | None = None
+    """Path of the baseline file, if any."""
+
+    rule_options: dict[str, dict[str, Any]] = field(default_factory=dict)
+    """Per-rule option tables, keyed by upper-case rule code."""
+
+    def enabled(self, code: str) -> bool:
+        code = code.upper()
+        if self.select and code not in self.select:
+            return False
+        return code not in self.ignore
+
+    def options_for(self, code: str) -> dict[str, Any]:
+        return self.rule_options.get(code.upper(), {})
+
+
+def _normalise_codes(values: Any) -> list[str]:
+    if isinstance(values, str):
+        values = [part.strip() for part in values.split(",")]
+    return [str(value).upper() for value in values if str(value).strip()]
+
+
+def load_pyproject_config(start: str | Path = ".") -> LintConfig:
+    """Read ``[tool.repro-lint]`` from the nearest ``pyproject.toml``.
+
+    Searches ``start`` and its parents; returns defaults when no file
+    (or no table, or no TOML parser on 3.10) is found.
+    """
+    config = LintConfig()
+    if tomllib is None:
+        return config
+    directory = Path(start).resolve()
+    candidates = [directory, *directory.parents]
+    for candidate in candidates:
+        pyproject = candidate / "pyproject.toml"
+        if not pyproject.exists():
+            continue
+        try:
+            data = tomllib.loads(pyproject.read_text(encoding="utf-8"))
+        except (OSError, tomllib.TOMLDecodeError):
+            return config
+        table = data.get("tool", {}).get("repro-lint", {})
+        if not isinstance(table, dict):
+            return config
+        config.select = _normalise_codes(table.get("select", []))
+        config.ignore = _normalise_codes(table.get("ignore", []))
+        baseline = table.get("baseline")
+        if baseline:
+            config.baseline = str(candidate / str(baseline))
+        for key, value in table.items():
+            if isinstance(value, dict):
+                config.rule_options[key.upper()] = dict(value)
+        return config
+    return config

@@ -1,0 +1,36 @@
+"""The rule registry: every repo-specific invariant rule, by code."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.lint.config import LintConfig
+from repro.lint.framework import Rule
+from repro.lint.rules.capability import CapabilityGuardRule
+from repro.lint.rules.counters import CounterDisciplineRule
+from repro.lint.rules.determinism import DeterminismRule
+from repro.lint.rules.exceptions import ExceptionHygieneRule
+from repro.lint.rules.fsync import FsyncDisciplineRule
+from repro.lint.rules.seam import SeamIsolationRule
+
+ALL_RULES: tuple[type[Rule], ...] = (
+    SeamIsolationRule,
+    DeterminismRule,
+    CounterDisciplineRule,
+    CapabilityGuardRule,
+    ExceptionHygieneRule,
+    FsyncDisciplineRule,
+)
+
+
+def make_rules(config: LintConfig | None = None) -> Sequence[Rule]:
+    """Instantiate and configure the enabled rules."""
+    config = config or LintConfig()
+    rules: list[Rule] = []
+    for rule_class in ALL_RULES:
+        if not config.enabled(rule_class.code):
+            continue
+        rule = rule_class()
+        rule.configure(config.options_for(rule_class.code))
+        rules.append(rule)
+    return rules

@@ -1,0 +1,141 @@
+"""RPL004: optional engine hooks run behind capability checks.
+
+The fast engine deliberately does not model page costs or pinning; the
+engine contract says callers probe ``engine.supports(CAP_*)`` (or call
+``engine.require(CAP_*)`` up front) before invoking the optional hooks.
+Unguarded calls happen to work today because the fast engine stubs the
+hooks as no-ops, but they couple algorithms to that accident -- a third
+engine that raises instead would break them.  This rule requires every
+cost/pinning hook call outside ``repro/storage/`` to be dominated by a
+capability check.
+
+A call counts as guarded when any of these hold in its enclosing
+function:
+
+* an ancestor ``if``/``while`` test contains ``.supports(CAP_*)`` /
+  ``.require(CAP_*)`` -- directly, or via a flag assigned from such a
+  call (``charged = engine.supports(CAP_PAGE_COSTS)`` ... ``if
+  charged:``);
+* an earlier ``engine.require(CAP_*)`` call (require raises, so
+  everything after it is dominated);
+* an earlier early-exit guard (``if not can_pin: return`` / ``continue``
+  / ``raise``) whose test references a capability check.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from repro.lint.framework import FileContext, Finding, Rule, terminal_name
+
+GUARDED_METHODS = {
+    "touch_page": "CAP_PAGE_COSTS",
+    "create_page": "CAP_PAGE_COSTS",
+    "flush_output": "CAP_PAGE_COSTS",
+    "probe_arcs_unclustered": "CAP_PAGE_COSTS",
+    "pin_page": "CAP_PINNING",
+    "unpin_page": "CAP_PINNING",
+}
+
+ENGINE_RECEIVERS = ("engine", "_engine")
+
+
+class CapabilityGuardRule(Rule):
+    code = "RPL004"
+    name = "capability-guards"
+    summary = (
+        "optional engine hooks (page costs, pinning) must be dominated "
+        "by an engine.supports(CAP_*)/require(CAP_*) check"
+    )
+
+    def __init__(self) -> None:
+        self.methods: dict[str, str] = dict(GUARDED_METHODS)
+        self.receivers: tuple[str, ...] = ENGINE_RECEIVERS
+        self.allowed_prefixes: tuple[str, ...] = ("repro.storage",)
+
+    # -- guard detection -------------------------------------------------------
+
+    @staticmethod
+    def _has_cap_arg(call: ast.Call) -> bool:
+        for arg in call.args:
+            name = terminal_name(arg)
+            if name is not None and name.startswith("CAP_"):
+                return True
+        return False
+
+    def _is_check_call(self, node: ast.AST) -> bool:
+        return (
+            isinstance(node, ast.Call)
+            and terminal_name(node.func) in ("supports", "require")
+            and self._has_cap_arg(node)
+        )
+
+    def _capability_test(self, ctx: FileContext, test: ast.AST, at: ast.AST) -> bool:
+        """Whether a condition expression encodes a capability check."""
+        assignments: dict[str, ast.expr] | None = None
+        for sub in ast.walk(test):
+            if self._is_check_call(sub):
+                return True
+            if isinstance(sub, ast.Name):
+                if assignments is None:
+                    assignments = ctx.scope_assignments(at)
+                value = assignments.get(sub.id)
+                if value is not None and self._is_check_call(value):
+                    return True
+        return False
+
+    def _is_guarded(self, ctx: FileContext, node: ast.Call) -> bool:
+        for ancestor in ctx.ancestors(node):
+            if isinstance(ancestor, (ast.If, ast.While)) and self._capability_test(
+                ctx, ancestor.test, node
+            ):
+                return True
+            if isinstance(ancestor, ast.IfExp) and self._capability_test(
+                ctx, ancestor.test, node
+            ):
+                return True
+        functions = ctx.enclosing_functions(node)
+        scope = functions[0] if functions else ctx.tree
+        for statement in ast.walk(scope):
+            lineno = getattr(statement, "lineno", node.lineno)
+            if lineno >= node.lineno:
+                continue
+            if (
+                isinstance(statement, ast.Call)
+                and terminal_name(statement.func) == "require"
+                and self._has_cap_arg(statement)
+            ):
+                return True
+            if (
+                isinstance(statement, ast.If)
+                and statement.body
+                and isinstance(statement.body[-1], (ast.Return, ast.Continue, ast.Raise))
+                and self._capability_test(ctx, statement.test, statement)
+            ):
+                return True
+        return False
+
+    # -- the check -------------------------------------------------------------
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        if self.applies_to(ctx.module, self.allowed_prefixes):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute) or func.attr not in self.methods:
+                continue
+            receiver = terminal_name(func.value)
+            if receiver not in self.receivers:
+                continue
+            if self._is_guarded(ctx, node):
+                continue
+            capability = self.methods[func.attr]
+            yield self.finding(
+                ctx,
+                node,
+                f"engine hook {func.attr}() called without a "
+                f"supports({capability})/require({capability}) guard",
+            )

@@ -1,0 +1,103 @@
+"""RPL003: paper counters are folded through the MetricSet API.
+
+Every number in the reproduced tables comes out of a
+:class:`~repro.metrics.counters.MetricSet`.  Scattered ``metrics.x += 1``
+writes make it impossible to audit which algorithm charges which
+counter where, and invite drift between the paged and fast engines.
+Algorithm code therefore accumulates plain local integers and folds
+them through the sanctioned API -- ``metrics.fold(...)``,
+``metrics.set_totals(...)``, ``metrics.count_union(...)`` -- which only
+``repro/metrics/`` itself may implement with direct attribute writes.
+
+The nested ``metrics.io`` block is exempt: ``IoStats`` is the
+phase-bucketed I/O ledger with its own charge API, already funnelled
+through the engines.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from repro.lint.framework import FileContext, Finding, Rule, terminal_name
+
+METRICS_RECEIVERS = ("metrics", "_metrics", "metric_set")
+
+FALLBACK_COUNTER_FIELDS = (
+    "tuples_generated",
+    "duplicates",
+    "distinct_tuples",
+    "output_tuples",
+    "tuple_io",
+    "list_unions",
+    "list_reads",
+    "arcs_considered",
+    "arcs_marked",
+    "unmarked_locality_total",
+    "reblocking_events",
+    "cpu_seconds",
+    "restructure_cpu_seconds",
+)
+
+
+def _counter_fields() -> tuple[str, ...]:
+    """The MetricSet counter fields, read from the dataclass itself.
+
+    Importing the real dataclass keeps the rule honest when fields are
+    added; the literal fallback keeps the linter usable standalone.
+    """
+    try:
+        import dataclasses
+
+        from repro.metrics.counters import MetricSet
+
+        return tuple(
+            f.name for f in dataclasses.fields(MetricSet) if f.name != "io"
+        )
+    except Exception:  # pragma: no cover - standalone fallback
+        return FALLBACK_COUNTER_FIELDS
+
+
+class CounterDisciplineRule(Rule):
+    code = "RPL003"
+    name = "counter-discipline"
+    summary = (
+        "no direct MetricSet attribute writes outside repro/metrics/ -- "
+        "fold locals through metrics.fold()/set_totals()/count_union()"
+    )
+
+    def __init__(self) -> None:
+        self.fields: tuple[str, ...] = _counter_fields()
+        self.receivers: tuple[str, ...] = METRICS_RECEIVERS
+        self.allowed_prefixes: tuple[str, ...] = ("repro.metrics",)
+
+    def _is_counter_write(self, target: ast.AST) -> str | None:
+        """The written counter name, if ``target`` is one."""
+        if not isinstance(target, ast.Attribute) or target.attr not in self.fields:
+            return None
+        receiver = terminal_name(target.value)
+        if receiver in self.receivers:
+            return target.attr
+        return None
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        if self.applies_to(ctx.module, self.allowed_prefixes):
+            return
+        for node in ast.walk(ctx.tree):
+            targets: list[ast.AST]
+            if isinstance(node, ast.AugAssign):
+                targets = [node.target]
+            elif isinstance(node, ast.Assign):
+                targets = list(node.targets)
+            else:
+                continue
+            for target in targets:
+                counter = self._is_counter_write(target)
+                if counter is not None:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"direct write to MetricSet counter {counter!r}; "
+                        f"accumulate locally and fold through metrics.fold()/"
+                        f"set_totals()/count_union()",
+                    )

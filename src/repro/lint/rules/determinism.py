@@ -1,0 +1,198 @@
+"""RPL002: deterministic code paths stay deterministic.
+
+The parallel experiment engine, ``--resume`` byte-identity and the
+engine-parity goldens all assume that a run is a pure function of its
+seeds.  Three things silently break that:
+
+* **wall-clock reads** (``time.time``, ``datetime.now``) leaking into
+  computed values -- CPU-time and monotonic timers
+  (``time.process_time``, ``time.perf_counter``) are fine because they
+  only ever feed explicitly timing-labelled fields that the comparison
+  gates exclude;
+* **unseeded randomness** -- module-level ``random.*`` functions,
+  ``os.urandom``, ``uuid.uuid4``; seeded ``random.Random(seed)``
+  instances are the sanctioned source;
+* **iterating a set** on a path that produces ordered output -- set
+  iteration order depends on the hash function, so results must be
+  ``sorted(...)`` (or an insertion-ordered ``dict`` used instead).
+  Feeding a set straight into an order-insensitive reducer
+  (``sorted``/``sum``/``min``/``max``/``len``/``any``/``all``/
+  ``set``/``frozenset``) is allowed.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from repro.lint.framework import FileContext, Finding, Rule
+
+SCOPE_DEFAULT = (
+    "repro.core",
+    "repro.baselines",
+    "repro.experiments",
+    "repro.obs",
+    "repro.paths",
+)
+
+WALL_CLOCK = (
+    "time.time",
+    "time.time_ns",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+)
+
+UNSEEDED_ENTROPY = (
+    "os.urandom",
+    "uuid.uuid1",
+    "uuid.uuid4",
+    "secrets.token_bytes",
+    "secrets.token_hex",
+    "secrets.randbelow",
+)
+
+UNSEEDED_RANDOM_FNS = (
+    "random",
+    "randint",
+    "randrange",
+    "randbytes",
+    "choice",
+    "choices",
+    "shuffle",
+    "sample",
+    "uniform",
+    "gauss",
+    "normalvariate",
+    "expovariate",
+    "betavariate",
+    "triangular",
+    "seed",
+    "getrandbits",
+)
+
+ORDER_INSENSITIVE_CONSUMERS = (
+    "sorted",
+    "sum",
+    "min",
+    "max",
+    "len",
+    "any",
+    "all",
+    "set",
+    "frozenset",
+)
+
+
+class DeterminismRule(Rule):
+    code = "RPL002"
+    name = "determinism-hygiene"
+    summary = (
+        "no wall-clock reads, unseeded randomness, or unordered set "
+        "iteration on deterministic paths"
+    )
+
+    def __init__(self) -> None:
+        self.modules: tuple[str, ...] = SCOPE_DEFAULT
+
+    # -- set-typed name inference ---------------------------------------------
+
+    @staticmethod
+    def _is_set_expr(node: ast.AST) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            return node.func.id in ("set", "frozenset")
+        return False
+
+    def _set_names(self, ctx: FileContext, node: ast.AST) -> set[str]:
+        """Local names bound to a set expression, visible from ``node``."""
+        return {
+            name
+            for name, value in ctx.scope_assignments(node).items()
+            if self._is_set_expr(value)
+        }
+
+    def _is_set_iterable(self, ctx: FileContext, node: ast.AST, at: ast.AST) -> bool:
+        if self._is_set_expr(node):
+            return True
+        if isinstance(node, ast.Name):
+            return node.id in self._set_names(ctx, at)
+        # ``list(a_set)`` / ``tuple(a_set)`` launder the type but keep
+        # the nondeterministic order.
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in ("list", "tuple")
+            and node.args
+        ):
+            return self._is_set_iterable(ctx, node.args[0], at)
+        return False
+
+    def _consumed_unordered(self, ctx: FileContext, comp: ast.AST) -> bool:
+        """Whether a comprehension feeds an order-insensitive reducer."""
+        parent = ctx.parent(comp)
+        if isinstance(parent, ast.Call) and isinstance(parent.func, ast.Name):
+            return parent.func.id in ORDER_INSENSITIVE_CONSUMERS
+        return False
+
+    # -- the check -------------------------------------------------------------
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        if not self.applies_to(ctx.module, self.modules):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_call(ctx, node)
+            elif isinstance(node, ast.For):
+                if self._is_set_iterable(ctx, node.iter, node):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "iterating a set: the order is hash-dependent; wrap in "
+                        "sorted(...) or use an insertion-ordered dict",
+                    )
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+                for generator in node.generators:
+                    if self._is_set_iterable(ctx, generator.iter, node) and not (
+                        isinstance(node, (ast.GeneratorExp, ast.ListComp))
+                        and self._consumed_unordered(ctx, node)
+                    ):
+                        yield self.finding(
+                            ctx,
+                            generator.iter,
+                            "comprehension over a set: the order is "
+                            "hash-dependent; wrap in sorted(...) or feed an "
+                            "order-insensitive reducer",
+                        )
+
+    def _check_call(self, ctx: FileContext, node: ast.Call) -> Iterable[Finding]:
+        target = ctx.resolve_dotted(node.func)
+        if target is None:
+            return
+        if target in WALL_CLOCK:
+            yield self.finding(
+                ctx,
+                node,
+                f"wall-clock read {target}() on a deterministic path; use "
+                f"time.process_time()/perf_counter() for explicit timing "
+                f"fields, or pass timestamps in",
+            )
+        elif target in UNSEEDED_ENTROPY:
+            yield self.finding(
+                ctx,
+                node,
+                f"unseeded entropy source {target}(); derive values from the "
+                f"run's seeds (random.Random(seed))",
+            )
+        elif (
+            target.startswith("random.")
+            and target.removeprefix("random.") in UNSEEDED_RANDOM_FNS
+        ):
+            yield self.finding(
+                ctx,
+                node,
+                f"unseeded module-level {target}(); use a seeded "
+                f"random.Random(seed) instance",
+            )

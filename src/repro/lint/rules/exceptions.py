@@ -1,0 +1,92 @@
+"""RPL005: chaos and retry paths never swallow exceptions.
+
+The chaos harness exists to prove crash-consistency, which only works
+if faults surface.  A bare ``except:`` (anywhere) or an ``except
+Exception:`` in the chaos/parallel-retry packages that neither
+re-raises nor converts the failure into a structured unit error hides
+exactly the faults the harness injects.  Handlers are fine when they:
+
+* ``raise`` (bare or with a new exception),
+* reference the structured failure type (``UnitError``) or record the
+  failure through an error/failure-named call (``record_failure``,
+  ``mark_failed``, ...).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from repro.lint.framework import FileContext, Finding, Rule, dotted_name
+
+BROAD_SCOPE_DEFAULT = ("repro.chaos", "repro.experiments.parallel")
+
+STRUCTURED_NAMES = ("UnitError", "UnitFailure")
+
+FAILURE_CALL_MARKERS = ("error", "fail")
+
+
+class ExceptionHygieneRule(Rule):
+    code = "RPL005"
+    name = "exception-hygiene"
+    summary = (
+        "no bare except; except Exception on chaos/retry paths must "
+        "re-raise or produce a structured unit error"
+    )
+
+    def __init__(self) -> None:
+        self.broad_scope: tuple[str, ...] = BROAD_SCOPE_DEFAULT
+        self.structured_names: tuple[str, ...] = STRUCTURED_NAMES
+
+    # -- handler classification ------------------------------------------------
+
+    @staticmethod
+    def _catches_broad(handler: ast.ExceptHandler) -> bool:
+        if handler.type is None:
+            return True
+        names: list[ast.AST]
+        if isinstance(handler.type, ast.Tuple):
+            names = list(handler.type.elts)
+        else:
+            names = [handler.type]
+        return any(
+            dotted_name(name) in ("Exception", "BaseException") for name in names
+        )
+
+    def _handler_is_structured(self, handler: ast.ExceptHandler) -> bool:
+        for node in ast.walk(handler):
+            if isinstance(node, ast.Raise):
+                return True
+            if isinstance(node, ast.Name) and node.id in self.structured_names:
+                return True
+            if isinstance(node, ast.Call):
+                target = dotted_name(node.func) or ""
+                leaf = target.rsplit(".", 1)[-1].lower()
+                if any(marker in leaf for marker in FAILURE_CALL_MARKERS):
+                    return True
+        return False
+
+    # -- the check -------------------------------------------------------------
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        in_broad_scope = self.applies_to(ctx.module, self.broad_scope)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self.finding(
+                    ctx,
+                    node,
+                    "bare except: catches KeyboardInterrupt/SystemExit too; "
+                    "name the exception type",
+                )
+                continue
+            if not in_broad_scope:
+                continue
+            if self._catches_broad(node) and not self._handler_is_structured(node):
+                yield self.finding(
+                    ctx,
+                    node,
+                    "except Exception on a chaos/retry path swallows injected "
+                    "faults; re-raise or convert to a structured UnitError",
+                )

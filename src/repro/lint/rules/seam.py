@@ -1,0 +1,99 @@
+"""RPL001: algorithm code stays behind the storage-engine seam.
+
+The PR that introduced the :class:`~repro.storage.engine.StorageEngine`
+seam guaranteed that algorithm code never touches the paged substrate
+directly -- buffer pool, clustered relations, page geometry, successor
+stores all hide behind the engine interface.  The original CI guard was
+a ``grep`` over ``repro/core`` that missed aliased imports
+(``import repro.storage.buffer as b``), ``from repro.storage import
+buffer``, dynamic ``importlib.import_module("repro.storage.buffer")``
+strings, and every package outside ``core/``.  This rule sees all of
+them in the AST.
+
+Imports inside ``if TYPE_CHECKING:`` blocks are allowed: annotations
+need the substrate *types* (the auditor inspects a ``BufferPool``), but
+type-only imports create no runtime coupling.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from repro.lint.framework import FileContext, Finding, Rule
+
+BANNED_DEFAULT = (
+    "repro.storage.paged",
+    "repro.storage.buffer",
+    "repro.storage.page",
+    "repro.storage.relation",
+    "repro.storage.successor_store",
+)
+
+DYNAMIC_IMPORTERS = ("importlib.import_module", "__import__")
+
+
+class SeamIsolationRule(Rule):
+    code = "RPL001"
+    name = "seam-isolation"
+    summary = (
+        "no repro.storage substrate imports outside repro/storage/ -- "
+        "algorithms speak to repro.storage.engine only"
+    )
+
+    def __init__(self) -> None:
+        self.banned: tuple[str, ...] = BANNED_DEFAULT
+        self.allowed_prefixes: tuple[str, ...] = ("repro.storage",)
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _is_banned(self, module: str) -> bool:
+        return any(
+            module == banned or module.startswith(banned + ".")
+            for banned in self.banned
+        )
+
+    def _message(self, module: str) -> str:
+        return (
+            f"import of storage substrate module {module!r} outside "
+            f"repro/storage/; use the repro.storage.engine seam instead"
+        )
+
+    # -- the check -------------------------------------------------------------
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        if self.applies_to(ctx.module, self.allowed_prefixes):
+            return
+        type_only = ctx.type_checking_lines()
+        for node in ast.walk(ctx.tree):
+            if getattr(node, "lineno", None) in type_only:
+                continue
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if self._is_banned(alias.name):
+                        yield self.finding(ctx, node, self._message(alias.name))
+            elif isinstance(node, ast.ImportFrom) and node.level == 0:
+                module = node.module or ""
+                if self._is_banned(module):
+                    yield self.finding(ctx, node, self._message(module))
+                else:
+                    # ``from repro.storage import buffer`` names the
+                    # banned module as the imported symbol instead.
+                    for alias in node.names:
+                        candidate = f"{module}.{alias.name}" if module else alias.name
+                        if self._is_banned(candidate):
+                            yield self.finding(ctx, node, self._message(candidate))
+            elif isinstance(node, ast.Call):
+                target = ctx.resolve_dotted(node.func)
+                if target not in DYNAMIC_IMPORTERS or not node.args:
+                    continue
+                first = node.args[0]
+                if isinstance(first, ast.Constant) and isinstance(first.value, str):
+                    if self._is_banned(first.value):
+                        yield self.finding(
+                            ctx,
+                            node,
+                            f"dynamic import of storage substrate module "
+                            f"{first.value!r} outside repro/storage/; use the "
+                            f"repro.storage.engine seam instead",
+                        )

@@ -12,14 +12,23 @@ behind *selection efficiency* (Section 6.3.2).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 
 from repro.storage.iostats import IoStats, Phase
 
 
 @dataclass
 class MetricSet:
-    """Counters for one execution of one algorithm on one query."""
+    """Counters for one execution of one algorithm on one query.
+
+    Algorithm code never writes the counter attributes directly (the
+    RPL003 lint rule enforces this): hot loops accumulate plain local
+    integers and fold them in through :meth:`fold` /
+    :meth:`set_totals`, and the per-union hot path charges through
+    :meth:`count_union`.  Keeping every write behind this seam is what
+    lets the paged and fast engines be audited for bit-identical
+    counters.
+    """
 
     io: IoStats = field(default_factory=IoStats)
 
@@ -66,6 +75,45 @@ class MetricSet:
 
     restructure_cpu_seconds: float = 0.0
     """Measured process CPU time for the restructuring phase alone."""
+
+    # -- the sanctioned write API -------------------------------------------
+
+    def fold(self, **deltas: int | float) -> None:
+        """Add the given per-counter deltas (the end-of-loop fold).
+
+        ``metrics.fold(arcs_considered=n, arcs_marked=m)`` replaces a
+        run of ``metrics.x += n`` statements; unknown counter names
+        raise so a typo cannot silently drop a measurement.
+        """
+        for name, delta in deltas.items():
+            if name not in _COUNTER_FIELDS:
+                raise AttributeError(f"MetricSet has no counter {name!r}")
+            setattr(self, name, getattr(self, name) + delta)
+
+    def set_totals(self, **values: int | float) -> None:
+        """Set counters to absolute values (end-of-run totals).
+
+        Used for quantities that are computed once rather than
+        accumulated -- ``distinct_tuples``, ``output_tuples``,
+        ``cpu_seconds`` and friends.
+        """
+        for name, value in values.items():
+            if name not in _COUNTER_FIELDS:
+                raise AttributeError(f"MetricSet has no counter {name!r}")
+            setattr(self, name, value)
+
+    def count_union(self, read_tuples: int, duplicates: int) -> None:
+        """Charge one successor-list union (the per-union hot path).
+
+        One union reads the child's whole list: one list I/O, one
+        union, ``read_tuples`` tuples read and generated, of which
+        ``duplicates`` were already present in the target.
+        """
+        self.list_unions += 1
+        self.list_reads += 1
+        self.tuple_io += read_tuples
+        self.tuples_generated += read_tuples
+        self.duplicates += duplicates
 
     # -- derived measures ----------------------------------------------------
 
@@ -141,3 +189,7 @@ class MetricSet:
             "cpu_seconds": round(self.cpu_seconds, 4),
             "estimated_io_seconds": round(self.estimated_io_seconds(), 3),
         }
+
+
+_COUNTER_FIELDS = frozenset(f.name for f in fields(MetricSet)) - {"io"}
+"""Counter attributes :meth:`MetricSet.fold`/:meth:`set_totals` accept."""

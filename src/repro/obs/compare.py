@@ -39,8 +39,8 @@ def load_records(source: RecordSource) -> list[RunRecord]:
     records = []
     with path.open() as handle:
         lines = handle.readlines()
-    for number, line in enumerate(lines, start=1):
-        line = line.strip()
+    for number, raw_line in enumerate(lines, start=1):
+        line = raw_line.strip()
         if not line:
             continue
         try:

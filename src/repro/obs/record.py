@@ -25,8 +25,8 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any
 
 from repro.obs.spans import SpanRecorder
+from repro.storage.engine import PageKind
 from repro.storage.iostats import IoStats, Phase
-from repro.storage.page import PageKind
 from repro.storage.trace import PageTrace, TraceEvent
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -44,10 +44,10 @@ def io_stats_dict(io: IoStats) -> dict[str, Any]:
     breakdowns are split apart here.
     """
 
-    def by_phase(counter: Counter) -> dict[str, int]:
+    def by_phase(counter: Counter[Phase | PageKind]) -> dict[str, int]:
         return {phase.value: counter[phase] for phase in Phase}
 
-    def by_kind(counter: Counter) -> dict[str, int]:
+    def by_kind(counter: Counter[Phase | PageKind]) -> dict[str, int]:
         return {
             kind.value: counter[kind] for kind in PageKind if counter[kind]
         }

@@ -43,10 +43,8 @@ from repro.paths.semiring import (
     Semiring,
 )
 from repro.paths.weighted import WeightedDigraph
-from repro.storage.buffer import BufferPool, make_policy
+from repro.storage.engine import CAP_PAGE_COSTS, PageId, PageKind, make_engine
 from repro.storage.iostats import Phase
-from repro.storage.page import PageId
-from repro.storage.successor_store import SuccessorListStore
 
 VALUE_BLOCK_CAPACITY = 7
 """(successor, value) entries per block: labelled entries are twice the
@@ -101,40 +99,35 @@ def generalized_closure(
     system = system or SystemConfig()
     graph = weighted.graph
     metrics = MetricSet()
-    pool = BufferPool(
-        system.buffer_pages,
-        stats=metrics.io,
-        policy=make_policy(system.page_policy, seed=system.policy_seed),
-    )
-    store = SuccessorListStore(
-        pool,
+    engine = make_engine(system, graph, metrics=metrics)
+    store = engine.make_list_store(
+        PageKind.SUCCESSOR,
         policy=system.list_policy,
         blocks_per_page=30,
         block_capacity=VALUE_BLOCK_CAPACITY,
     )
-    from repro.storage.relation import ArcRelation
-
-    relation = ArcRelation(graph)
     start = time.process_time()
 
     # -- restructuring ------------------------------------------------------
     metrics.io.phase = Phase.RESTRUCTURE
     if sources is None:
         query = Query.full()
-        relation.scan(pool)
+        engine.scan_relation()
         scope = set(graph.nodes())
     else:
         query = Query.ptc(sources)
         scope = set()
         stack = list(query.sources or ())
+        tuple_io = 0
         while stack:
             node = stack.pop()
             if node in scope:
                 continue
             scope.add(node)
-            children = relation.read_successors(node, pool)
-            metrics.tuple_io += len(children)
+            children = engine.read_successors(node)
+            tuple_io += len(children)
             stack.extend(child for child in children if child not in scope)
+        metrics.fold(tuple_io=tuple_io)
 
     order = topological_sort(graph, scope)
     values: dict[int, dict[int, object]] = {}
@@ -144,28 +137,32 @@ def generalized_closure(
     # -- computation --------------------------------------------------------
     metrics.io.phase = Phase.COMPUTE
     plus, times, one = semiring.plus, semiring.times, semiring.one
+    # The per-arc counters accumulate in locals and fold into ``metrics``
+    # once after the loop -- the final totals (and every storage call,
+    # in the same order) are identical.
+    arcs_considered = list_unions = 0
+    tuple_io = tuples_generated = duplicates = 0
     for node in reversed(order):
         row: dict[int, object] = {}
         for child in graph.successors(node):
-            metrics.arcs_considered += 1
-            metrics.list_unions += 1
-            metrics.list_reads += 1
+            arcs_considered += 1
+            list_unions += 1
             label = weighted.label(node, child)
             child_row = values[child]
             store.read_list(child)
-            metrics.tuple_io += len(child_row)
-            metrics.tuples_generated += len(child_row) + 1
+            tuple_io += len(child_row)
+            tuples_generated += len(child_row) + 1
 
             extended = times(label, one)  # the one-arc path's value
             if child in row:
-                metrics.duplicates += 1
+                duplicates += 1
                 row[child] = plus(row[child], extended)
             else:
                 row[child] = extended
             for successor, value in child_row.items():
                 through = times(label, value)
                 if successor in row:
-                    metrics.duplicates += 1
+                    duplicates += 1
                     row[successor] = plus(row[successor], through)
                 else:
                     row[successor] = through
@@ -173,6 +170,14 @@ def generalized_closure(
         grown = len(row) - len(graph.successors(node))
         if grown > 0:
             store.append(node, grown)
+    metrics.fold(
+        arcs_considered=arcs_considered,
+        list_unions=list_unions,
+        list_reads=list_unions,
+        tuple_io=tuple_io,
+        tuples_generated=tuples_generated,
+        duplicates=duplicates,
+    )
 
     # -- write-out ----------------------------------------------------------
     metrics.io.phase = Phase.WRITEOUT
@@ -180,13 +185,16 @@ def generalized_closure(
         output_nodes = list(order)
     else:
         output_nodes = [s for s in query.sources or () if s in scope]
-    output_pages: set[PageId] = set()
-    for node in output_nodes:
-        output_pages.update(store.pages_of(node))
-    pool.flush_selected(output_pages)
-    metrics.distinct_tuples = sum(len(row) for row in values.values())
-    metrics.output_tuples = sum(len(values[node]) for node in output_nodes)
-    metrics.cpu_seconds = time.process_time() - start
+    if engine.supports(CAP_PAGE_COSTS):
+        output_pages: set[PageId] = set()
+        for node in output_nodes:
+            output_pages.update(store.pages_of(node))
+        engine.flush_output(output_pages)
+    metrics.set_totals(
+        distinct_tuples=sum(len(row) for row in values.values()),
+        output_tuples=sum(len(values[node]) for node in output_nodes),
+        cpu_seconds=time.process_time() - start,
+    )
 
     return GeneralizedClosure(
         semiring=semiring,

@@ -46,7 +46,15 @@ from abc import ABC, abstractmethod
 from typing import TYPE_CHECKING, Any, Iterable
 
 from repro.errors import ConfigurationError, EngineCapabilityError
-from repro.storage.page import PageId, PageKind
+from repro.storage.page import (
+    BLOCK_CAPACITY,
+    BLOCKS_PER_PAGE,
+    PAGE_SIZE,
+    TUPLES_PER_PAGE,
+    PageId,
+    PageKind,
+    pages_needed,
+)
 from repro.storage.successor_store import ListPlacementPolicy
 
 if TYPE_CHECKING:  # pragma: no cover - typing only (avoids import cycles)
@@ -57,6 +65,18 @@ if TYPE_CHECKING:  # pragma: no cover - typing only (avoids import cycles)
     from repro.storage.trace import PageTrace
 
 __all__ = [
+    # Page vocabulary, re-exported so algorithm code can name page
+    # identities and geometry without importing the substrate modules
+    # (the RPL001 seam-isolation rule bans those imports outside
+    # repro/storage/).
+    "BLOCK_CAPACITY",
+    "BLOCKS_PER_PAGE",
+    "PAGE_SIZE",
+    "TUPLES_PER_PAGE",
+    "PageId",
+    "PageKind",
+    "pages_needed",
+    # The seam itself.
     "CAP_AUDIT",
     "CAP_CHAOS",
     "CAP_PAGE_COSTS",
@@ -227,8 +247,17 @@ class StorageEngine(ABC):
         self,
         kind: PageKind = PageKind.SUCCESSOR,
         policy: ListPlacementPolicy = ListPlacementPolicy.MOVE_SELF,
+        *,
+        blocks_per_page: int | None = None,
+        block_capacity: int | None = None,
     ) -> ListStore:
-        """An auxiliary list store in its own page space (default geometry)."""
+        """An auxiliary list store in its own page space.
+
+        ``blocks_per_page``/``block_capacity`` override the engine's
+        default block geometry (``None`` keeps it); the generalized
+        closure uses this for its wider (successor, value) entries.
+        Engines without page simulation ignore the geometry.
+        """
 
     # -- page-level cost hooks ----------------------------------------------
 

@@ -179,7 +179,11 @@ class FastEngine(StorageEngine):
         self,
         kind: PageKind = PageKind.SUCCESSOR,
         policy: ListPlacementPolicy = ListPlacementPolicy.MOVE_SELF,
+        *,
+        blocks_per_page: int | None = None,
+        block_capacity: int | None = None,
     ) -> FastListStore:
+        # No page simulation: the block geometry has nothing to shape.
         return FastListStore()
 
     # -- page-level cost hooks (all free) ------------------------------------

@@ -39,10 +39,12 @@ class Phase(enum.Enum):
 class IoStats:
     """Mutable page-I/O counters shared by one algorithm execution."""
 
-    reads: Counter = field(default_factory=Counter)
-    writes: Counter = field(default_factory=Counter)
-    requests: Counter = field(default_factory=Counter)
-    hits: Counter = field(default_factory=Counter)
+    # reads/writes key physical I/Os two ways at once: by Phase and by
+    # PageKind (record_read/record_write bump both breakdowns).
+    reads: Counter[Phase | PageKind] = field(default_factory=Counter)
+    writes: Counter[Phase | PageKind] = field(default_factory=Counter)
+    requests: Counter[Phase | PageKind] = field(default_factory=Counter)
+    hits: Counter[Phase | PageKind] = field(default_factory=Counter)
     phase: Phase = Phase.RESTRUCTURE
 
     def record_request(self, kind: PageKind, hit: bool) -> None:

@@ -124,8 +124,16 @@ class PagedEngine(StorageEngine):
         self,
         kind: PageKind = PageKind.SUCCESSOR,
         policy: ListPlacementPolicy = ListPlacementPolicy.MOVE_SELF,
+        *,
+        blocks_per_page: int | None = None,
+        block_capacity: int | None = None,
     ) -> SuccessorListStore:
-        return SuccessorListStore(self.pool, kind=kind, policy=policy)
+        geometry: dict[str, int] = {}
+        if blocks_per_page is not None:
+            geometry["blocks_per_page"] = blocks_per_page
+        if block_capacity is not None:
+            geometry["block_capacity"] = block_capacity
+        return SuccessorListStore(self.pool, kind=kind, policy=policy, **geometry)
 
     # -- page-level cost hooks ----------------------------------------------
 

@@ -1,0 +1,624 @@
+"""Tests for repro-lint: the AST-based invariant analyzer.
+
+Each rule gets positive fixtures (the violation is found), negative
+fixtures (sanctioned idioms stay clean), plus suppression, baseline and
+CLI exit-code coverage -- and a self-check that the repository's own
+``src/`` tree is clean under the default configuration, which is what
+the CI gate runs.
+"""
+
+import json
+import textwrap
+from pathlib import Path
+
+from repro.lint import lint_source, load_baseline, write_baseline
+from repro.lint.cli import EXIT_CLEAN, EXIT_ERROR, EXIT_FINDINGS, main
+from repro.lint.framework import PARSE_ERROR_CODE, LintResult, lint_paths
+from repro.lint.rules import make_rules
+from repro.lint.rules.capability import CapabilityGuardRule
+from repro.lint.rules.counters import CounterDisciplineRule
+from repro.lint.rules.determinism import DeterminismRule
+from repro.lint.rules.exceptions import ExceptionHygieneRule
+from repro.lint.rules.fsync import FsyncDisciplineRule
+from repro.lint.rules.seam import SeamIsolationRule
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def run(source, rule, module="repro.core.fixture"):
+    """Lint one dedented source string with one rule."""
+    return lint_source(textwrap.dedent(source), [rule], module=module)
+
+
+def codes(findings):
+    return [f.code for f in findings]
+
+
+class TestSeamIsolation:
+    def test_plain_import_is_flagged(self):
+        findings = run("import repro.storage.buffer\n", SeamIsolationRule())
+        assert codes(findings) == ["RPL001"]
+        assert "repro.storage.buffer" in findings[0].message
+
+    def test_aliased_import_is_flagged(self):
+        findings = run("import repro.storage.page as pg\n", SeamIsolationRule())
+        assert codes(findings) == ["RPL001"]
+
+    def test_from_import_is_flagged(self):
+        source = "from repro.storage.successor_store import SuccessorListStore\n"
+        assert codes(run(source, SeamIsolationRule())) == ["RPL001"]
+
+    def test_from_package_import_module_is_flagged(self):
+        # The form the old grep guard could not see.
+        source = "from repro.storage import buffer\n"
+        assert codes(run(source, SeamIsolationRule())) == ["RPL001"]
+
+    def test_dynamic_import_string_is_flagged(self):
+        source = """\
+            import importlib
+            mod = importlib.import_module("repro.storage.relation")
+        """
+        assert codes(run(source, SeamIsolationRule())) == ["RPL001"]
+
+    def test_engine_seam_import_is_allowed(self):
+        source = "from repro.storage.engine import StorageEngine, make_engine\n"
+        assert run(source, SeamIsolationRule()) == []
+
+    def test_type_checking_import_is_allowed(self):
+        source = """\
+            from typing import TYPE_CHECKING
+
+            if TYPE_CHECKING:
+                from repro.storage.buffer import BufferPool
+        """
+        assert run(source, SeamIsolationRule()) == []
+
+    def test_storage_package_itself_is_exempt(self):
+        source = "from repro.storage.page import PageId\n"
+        findings = lint_source(
+            source, [SeamIsolationRule()], module="repro.storage.paged"
+        )
+        assert findings == []
+
+
+class TestDeterminism:
+    def test_wall_clock_read_is_flagged(self):
+        source = """\
+            import time
+            stamp = time.time()
+        """
+        findings = run(source, DeterminismRule())
+        assert codes(findings) == ["RPL002"]
+        assert "wall-clock" in findings[0].message
+
+    def test_cpu_and_monotonic_timers_are_allowed(self):
+        source = """\
+            import time
+            a = time.process_time()
+            b = time.perf_counter()
+        """
+        assert run(source, DeterminismRule()) == []
+
+    def test_unseeded_module_random_is_flagged(self):
+        source = """\
+            import random
+            x = random.random()
+        """
+        assert codes(run(source, DeterminismRule())) == ["RPL002"]
+
+    def test_seeded_random_instance_is_allowed(self):
+        source = """\
+            import random
+            rng = random.Random(7)
+            x = rng.random()
+        """
+        assert run(source, DeterminismRule()) == []
+
+    def test_urandom_is_flagged(self):
+        source = """\
+            import os
+            x = os.urandom(8)
+        """
+        assert codes(run(source, DeterminismRule())) == ["RPL002"]
+
+    def test_for_over_set_is_flagged(self):
+        source = """\
+            def f(pages):
+                pinned = set(pages)
+                for page in pinned:
+                    print(page)
+        """
+        findings = run(source, DeterminismRule())
+        assert codes(findings) == ["RPL002"]
+        assert "iterating a set" in findings[0].message
+
+    def test_list_laundering_keeps_the_flag(self):
+        source = """\
+            def f(pages):
+                pinned = set(pages)
+                for page in list(pinned):
+                    print(page)
+        """
+        assert codes(run(source, DeterminismRule())) == ["RPL002"]
+
+    def test_sorted_set_is_allowed(self):
+        source = """\
+            def f(pages):
+                pinned = set(pages)
+                for page in sorted(pinned):
+                    print(page)
+        """
+        assert run(source, DeterminismRule()) == []
+
+    def test_comprehension_feeding_reducer_is_allowed(self):
+        source = """\
+            def f(rows):
+                seen = {r * 2 for r in rows}
+                return sum(x + 1 for x in seen)
+        """
+        assert run(source, DeterminismRule()) == []
+
+    def test_insertion_ordered_dict_is_allowed(self):
+        source = """\
+            def f(pages):
+                pinned = {}
+                for page in pages:
+                    pinned[page] = None
+                for page in pinned:
+                    print(page)
+        """
+        assert run(source, DeterminismRule()) == []
+
+    def test_out_of_scope_module_is_ignored(self):
+        source = """\
+            import time
+            stamp = time.time()
+        """
+        findings = lint_source(
+            textwrap.dedent(source), [DeterminismRule()], module="repro.chaos.inject"
+        )
+        assert findings == []
+
+
+class TestCounterDiscipline:
+    def test_augmented_write_is_flagged(self):
+        source = "metrics.tuples_generated += 1\n"
+        findings = run(source, CounterDisciplineRule())
+        assert codes(findings) == ["RPL003"]
+        assert "tuples_generated" in findings[0].message
+
+    def test_absolute_write_is_flagged(self):
+        source = "metrics.cpu_seconds = 1.5\n"
+        assert codes(run(source, CounterDisciplineRule())) == ["RPL003"]
+
+    def test_self_metrics_receiver_is_flagged(self):
+        source = """\
+            class A:
+                def f(self):
+                    self.metrics.duplicates += 2
+        """
+        assert codes(run(source, CounterDisciplineRule())) == ["RPL003"]
+
+    def test_fold_api_is_allowed(self):
+        source = """\
+            def f(metrics):
+                metrics.fold(tuples_generated=3, duplicates=1)
+                metrics.set_totals(cpu_seconds=0.5)
+                metrics.count_union(4, 2)
+        """
+        assert run(source, CounterDisciplineRule()) == []
+
+    def test_io_ledger_is_exempt(self):
+        source = "metrics.io.phase = 1\n"
+        assert run(source, CounterDisciplineRule()) == []
+
+    def test_plain_locals_are_allowed(self):
+        source = """\
+            def f():
+                tuples_generated = 0
+                tuples_generated += 1
+        """
+        assert run(source, CounterDisciplineRule()) == []
+
+    def test_metrics_package_itself_is_exempt(self):
+        findings = lint_source(
+            "metrics.tuples_generated += 1\n",
+            [CounterDisciplineRule()],
+            module="repro.metrics.counters",
+        )
+        assert findings == []
+
+
+class TestCapabilityGuards:
+    def test_unguarded_hook_is_flagged(self):
+        source = """\
+            def f(engine):
+                engine.touch_page(1, 2)
+        """
+        findings = run(source, CapabilityGuardRule())
+        assert codes(findings) == ["RPL004"]
+        assert "CAP_PAGE_COSTS" in findings[0].message
+
+    def test_direct_supports_guard_is_allowed(self):
+        source = """\
+            def f(engine):
+                if engine.supports(CAP_PAGE_COSTS):
+                    engine.touch_page(1, 2)
+        """
+        assert run(source, CapabilityGuardRule()) == []
+
+    def test_flag_variable_guard_is_allowed(self):
+        source = """\
+            def f(engine):
+                charged = engine.supports(CAP_PAGE_COSTS)
+                if charged:
+                    engine.create_page(1, 2)
+        """
+        assert run(source, CapabilityGuardRule()) == []
+
+    def test_flag_guard_traced_into_closure(self):
+        source = """\
+            def f(engine):
+                charged = engine.supports(CAP_PAGE_COSTS)
+
+                def touch(row):
+                    if not charged:
+                        return
+                    engine.touch_page(1, row)
+        """
+        assert run(source, CapabilityGuardRule()) == []
+
+    def test_early_exit_guard_is_allowed(self):
+        source = """\
+            def f(engine):
+                if not engine.supports(CAP_PAGE_COSTS):
+                    return
+                engine.flush_output([])
+        """
+        assert run(source, CapabilityGuardRule()) == []
+
+    def test_require_dominates_later_calls(self):
+        source = """\
+            def f(engine):
+                engine.require(CAP_PINNING)
+                engine.pin_page(1)
+        """
+        assert run(source, CapabilityGuardRule()) == []
+
+    def test_pinning_hook_names_its_capability(self):
+        source = """\
+            def f(engine):
+                engine.unpin_page(1)
+        """
+        findings = run(source, CapabilityGuardRule())
+        assert codes(findings) == ["RPL004"]
+        assert "CAP_PINNING" in findings[0].message
+
+    def test_storage_package_itself_is_exempt(self):
+        findings = lint_source(
+            "def f(engine):\n    engine.touch_page(1, 2)\n",
+            [CapabilityGuardRule()],
+            module="repro.storage.paged",
+        )
+        assert findings == []
+
+
+class TestExceptionHygiene:
+    def test_bare_except_is_flagged_everywhere(self):
+        source = """\
+            try:
+                f()
+            except:
+                pass
+        """
+        findings = lint_source(
+            textwrap.dedent(source), [ExceptionHygieneRule()], module="anywhere"
+        )
+        assert codes(findings) == ["RPL005"]
+        assert "bare except" in findings[0].message
+
+    def test_swallowed_broad_except_on_chaos_path_is_flagged(self):
+        source = """\
+            try:
+                f()
+            except Exception:
+                pass
+        """
+        findings = lint_source(
+            textwrap.dedent(source), [ExceptionHygieneRule()],
+            module="repro.chaos.inject",
+        )
+        assert codes(findings) == ["RPL005"]
+
+    def test_reraising_handler_is_allowed(self):
+        source = """\
+            try:
+                f()
+            except Exception:
+                raise
+        """
+        findings = lint_source(
+            textwrap.dedent(source), [ExceptionHygieneRule()],
+            module="repro.chaos.inject",
+        )
+        assert findings == []
+
+    def test_structured_unit_error_is_allowed(self):
+        source = """\
+            def g(record_failure):
+                try:
+                    f()
+                except Exception as exc:
+                    record_failure(exc)
+        """
+        findings = lint_source(
+            textwrap.dedent(source), [ExceptionHygieneRule()],
+            module="repro.experiments.parallel",
+        )
+        assert findings == []
+
+    def test_narrow_except_is_allowed(self):
+        source = """\
+            try:
+                f()
+            except ValueError:
+                pass
+        """
+        findings = lint_source(
+            textwrap.dedent(source), [ExceptionHygieneRule()],
+            module="repro.chaos.inject",
+        )
+        assert findings == []
+
+    def test_broad_except_outside_chaos_scope_is_allowed(self):
+        source = """\
+            try:
+                f()
+            except Exception:
+                pass
+        """
+        findings = lint_source(
+            textwrap.dedent(source), [ExceptionHygieneRule()],
+            module="repro.report.tables",
+        )
+        assert findings == []
+
+
+class TestFsyncDiscipline:
+    def test_unflushed_write_is_flagged(self):
+        source = """\
+            def append(fh, line):
+                fh.write(line)
+        """
+        findings = lint_source(
+            textwrap.dedent(source), [FsyncDisciplineRule()],
+            module="repro.chaos.checkpoint",
+        )
+        assert codes(findings) == ["RPL006"]
+        assert "flush()" in findings[0].message
+        assert "os.fsync()" in findings[0].message
+
+    def test_flush_without_fsync_still_flagged(self):
+        source = """\
+            def append(fh, line):
+                fh.write(line)
+                fh.flush()
+        """
+        findings = lint_source(
+            textwrap.dedent(source), [FsyncDisciplineRule()],
+            module="repro.obs.sink",
+        )
+        assert codes(findings) == ["RPL006"]
+        assert "os.fsync()" in findings[0].message
+
+    def test_flush_and_fsync_is_clean(self):
+        source = """\
+            import os
+
+            def append(fh, line):
+                fh.write(line)
+                fh.flush()
+                os.fsync(fh.fileno())
+        """
+        findings = lint_source(
+            textwrap.dedent(source), [FsyncDisciplineRule()],
+            module="repro.chaos.checkpoint",
+        )
+        assert findings == []
+
+    def test_non_writing_function_is_out_of_scope(self):
+        source = """\
+            def read_back(fh):
+                return fh.read()
+        """
+        findings = lint_source(
+            textwrap.dedent(source), [FsyncDisciplineRule()],
+            module="repro.chaos.checkpoint",
+        )
+        assert findings == []
+
+    def test_other_modules_are_out_of_scope(self):
+        source = """\
+            def append(fh, line):
+                fh.write(line)
+        """
+        findings = lint_source(
+            textwrap.dedent(source), [FsyncDisciplineRule()],
+            module="repro.report.export",
+        )
+        assert findings == []
+
+
+class TestSuppression:
+    def test_inline_disable_by_code(self):
+        source = "metrics.duplicates += 1  # repro-lint: disable=RPL003\n"
+        stats = LintResult()
+        findings = lint_source(
+            source, [CounterDisciplineRule()], module="repro.core.x", stats=stats
+        )
+        assert findings == []
+        assert stats.suppressed == 1
+
+    def test_inline_disable_all_rules(self):
+        source = "metrics.duplicates += 1  # repro-lint: disable\n"
+        findings = lint_source(
+            source, [CounterDisciplineRule()], module="repro.core.x"
+        )
+        assert findings == []
+
+    def test_disable_wrong_code_does_not_suppress(self):
+        source = "metrics.duplicates += 1  # repro-lint: disable=RPL001\n"
+        findings = lint_source(
+            source, [CounterDisciplineRule()], module="repro.core.x"
+        )
+        assert codes(findings) == ["RPL003"]
+
+    def test_file_wide_disable(self):
+        source = """\
+            # repro-lint: disable-file=RPL003
+            metrics.duplicates += 1
+            metrics.tuple_io += 2
+        """
+        findings = lint_source(
+            textwrap.dedent(source), [CounterDisciplineRule()], module="repro.core.x"
+        )
+        assert findings == []
+
+
+class TestParseErrors:
+    def test_unparsable_file_reports_rpl900(self):
+        findings = lint_source("def broken(:\n", [SeamIsolationRule()])
+        assert codes(findings) == [PARSE_ERROR_CODE]
+
+
+class TestBaseline:
+    def test_round_trip_and_subtraction(self, tmp_path):
+        bad = tmp_path / "repro" / "core" / "bad.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("metrics.duplicates += 1\n", encoding="utf-8")
+        rules = [CounterDisciplineRule()]
+
+        first = lint_paths([str(tmp_path)], rules)
+        assert codes(first.findings) == ["RPL003"]
+
+        baseline_file = tmp_path / "baseline.json"
+        assert write_baseline(baseline_file, first.findings) == 1
+        fingerprints = load_baseline(baseline_file)
+        assert len(fingerprints) == 1
+
+        second = lint_paths([str(tmp_path)], rules, baseline=fingerprints)
+        assert second.findings == []
+        assert second.baselined == 1
+
+    def test_baseline_is_line_number_independent(self, tmp_path):
+        bad = tmp_path / "repro" / "core" / "bad.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("metrics.duplicates += 1\n", encoding="utf-8")
+        rules = [CounterDisciplineRule()]
+        first = lint_paths([str(tmp_path)], rules)
+        baseline_file = tmp_path / "baseline.json"
+        write_baseline(baseline_file, first.findings)
+
+        # Push the grandfathered line down: it must stay baselined.
+        bad.write_text("import os\n\n\nmetrics.duplicates += 1\n", encoding="utf-8")
+        again = lint_paths(
+            [str(tmp_path)], rules, baseline=load_baseline(baseline_file)
+        )
+        assert again.findings == []
+        assert again.baselined == 1
+
+    def test_missing_baseline_is_empty(self, tmp_path):
+        assert load_baseline(tmp_path / "nope.json") == set()
+
+    def test_malformed_baseline_raises(self, tmp_path):
+        bad = tmp_path / "broken.json"
+        bad.write_text("{\"not\": \"a baseline\"}", encoding="utf-8")
+        try:
+            load_baseline(bad)
+        except ValueError as exc:
+            assert "malformed baseline" in str(exc)
+        else:
+            raise AssertionError("malformed baseline did not raise")
+
+
+class TestConfigAndSelection:
+    def test_select_narrows_the_rule_set(self):
+        from repro.lint.config import LintConfig
+
+        rules = make_rules(LintConfig(select=["RPL001"]))
+        assert [r.code for r in rules] == ["RPL001"]
+
+    def test_ignore_removes_rules(self):
+        from repro.lint.config import LintConfig
+
+        rules = make_rules(LintConfig(ignore=["RPL002", "RPL006"]))
+        assert "RPL002" not in [r.code for r in rules]
+        assert "RPL006" not in [r.code for r in rules]
+        assert len(rules) == 4
+
+    def test_per_rule_options_reach_the_rule(self):
+        from repro.lint.config import LintConfig
+
+        config = LintConfig(
+            rule_options={"RPL001": {"banned": ("repro.storage.trace",)}}
+        )
+        (rule,) = [r for r in make_rules(config) if r.code == "RPL001"]
+        assert rule.banned == ("repro.storage.trace",)
+
+
+class TestCli:
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        good = tmp_path / "ok.py"
+        good.write_text("x = 1\n", encoding="utf-8")
+        assert main([str(tmp_path), "--no-config"]) == EXIT_CLEAN
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, tmp_path, capsys):
+        bad = tmp_path / "repro" / "core" / "bad.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("metrics.duplicates += 1\n", encoding="utf-8")
+        assert main([str(tmp_path), "--no-config"]) == EXIT_FINDINGS
+        assert "RPL003" in capsys.readouterr().out
+
+    def test_empty_selection_exits_two(self, tmp_path, capsys):
+        assert main([str(tmp_path), "--no-config", "--select", "RPL999"]) == EXIT_ERROR
+
+    def test_json_format(self, tmp_path, capsys):
+        bad = tmp_path / "repro" / "core" / "bad.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("metrics.duplicates += 1\n", encoding="utf-8")
+        assert main([str(tmp_path), "--no-config", "--format", "json"]) == EXIT_FINDINGS
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["findings"][0]["code"] == "RPL003"
+        assert payload["files"] == 1
+
+    def test_write_then_apply_baseline(self, tmp_path, capsys):
+        bad = tmp_path / "repro" / "core" / "bad.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("metrics.duplicates += 1\n", encoding="utf-8")
+        baseline = tmp_path / "baseline.json"
+        assert (
+            main([
+                str(tmp_path), "--no-config",
+                "--baseline", str(baseline), "--write-baseline",
+            ])
+            == EXIT_CLEAN
+        )
+        assert baseline.exists()
+        assert (
+            main([str(tmp_path), "--no-config", "--baseline", str(baseline)])
+            == EXIT_CLEAN
+        )
+        assert "1 baselined" in capsys.readouterr().out
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == EXIT_CLEAN
+        out = capsys.readouterr().out
+        for code in ("RPL001", "RPL002", "RPL003", "RPL004", "RPL005", "RPL006"):
+            assert code in out
+
+
+class TestRepositoryIsClean:
+    def test_src_tree_is_clean_under_default_rules(self, capsys):
+        """The CI gate: the repository satisfies its own invariants."""
+        assert main([str(REPO_ROOT / "src"), "--no-config"]) == EXIT_CLEAN
