@@ -17,9 +17,13 @@ suite, and at session end the records are folded into one entry per
 benchmark cell and written to ``BENCH_summary.json`` at the repository
 root -- the perf trajectory later changes are diffed against (see
 ``python -m repro compare`` and docs/OBSERVABILITY.md).
-"""
 
-import json
+Repetitions: ``--repro-reps N`` repeats every run N times.  The
+simulated counters are deterministic, so this purely multiplies the
+timing samples -- the summary records min-of-N ``cpu_seconds`` /
+``wall_seconds`` plus every sample, which is what the compare gate's
+noise band needs.
+"""
 
 import pytest
 
@@ -38,6 +42,13 @@ def pytest_addoption(parser):
         help="worker processes for the experiment grids (default: 1 = serial; "
         "run records still merge into the session sink in canonical order)",
     )
+    parser.addoption(
+        "--repro-reps",
+        type=int,
+        default=1,
+        help="repeat every run N times (min-of-N timings, all samples "
+        "recorded in BENCH_summary.json)",
+    )
 
 
 @pytest.fixture(scope="session")
@@ -49,11 +60,15 @@ def profile(request):
 
 def pytest_sessionstart(session):
     from repro.experiments.parallel import ExperimentEngine, set_engine
+    from repro.obs.bench import set_bench_reps
     from repro.obs.sink import MemorySink, set_global_sink
 
     sink = MemorySink()
     session.config._repro_bench_sink = sink
     session.config._repro_prev_sink = set_global_sink(sink)
+    session.config._repro_prev_reps = set_bench_reps(
+        session.config.getoption("--repro-reps")
+    )
 
     jobs = session.config.getoption("--repro-jobs")
     if jobs > 1:
@@ -67,7 +82,7 @@ def pytest_sessionstart(session):
 
 def pytest_sessionfinish(session, exitstatus):
     from repro.experiments.parallel import set_engine
-    from repro.obs.bench import build_bench_summary
+    from repro.obs.bench import build_bench_summary, set_bench_reps, write_bench_summary
     from repro.obs.sink import set_global_sink
 
     engine = getattr(session.config, "_repro_engine", None)
@@ -79,8 +94,8 @@ def pytest_sessionfinish(session, exitstatus):
     if sink is None:
         return
     set_global_sink(getattr(session.config, "_repro_prev_sink", None))
+    set_bench_reps(getattr(session.config, "_repro_prev_reps", 1))
     summary = build_bench_summary(sink.records)
     if not summary:
         return
-    path = session.config.rootpath / "BENCH_summary.json"
-    path.write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n")
+    write_bench_summary(summary, session.config.rootpath / "BENCH_summary.json")

@@ -22,6 +22,12 @@ from repro.core.query import Query, SystemConfig
 from repro.core.result import ClosureResult
 from repro.graphs.digraph import Digraph
 from repro.metrics.counters import MetricSet
+from repro.obs.spans import SpanRecorder, span
+from repro.obs.tracing import (
+    EV_DELTA_SCAN,
+    EV_DELTA_SPOOL,
+    TraceCollector,
+)
 from repro.storage.engine import (
     CAP_PAGE_COSTS,
     TUPLES_PER_PAGE,
@@ -38,21 +44,44 @@ class SeminaiveAlgorithm:
     """Iterative delta evaluation of the transitive closure."""
 
     name = "seminaive"
+    accepts_instrumentation = True
+    """The CLI may pass ``recorder``/``collector`` (but no PageTrace:
+    the baselines never see storage internals, only the seam)."""
 
     def run(
         self,
         graph: Digraph,
         query: Query | None = None,
         system: SystemConfig | None = None,
+        recorder: "SpanRecorder | None" = None,
+        collector: "TraceCollector | None" = None,
     ) -> ClosureResult:
-        """Evaluate the query; same protocol as the paper's algorithms."""
+        """Evaluate the query; same protocol as the paper's algorithms.
+
+        ``recorder`` times the run under a single ``run`` span;
+        ``collector`` records structured trace events -- including the
+        ``delta.spool``/``delta.scan`` markers unique to semi-naive --
+        through the engine seam.  Both are pure observers.
+        """
+        with span("run", recorder):
+            return self._run(graph, query, system, collector)
+
+    def _run(
+        self,
+        graph: Digraph,
+        query: Query | None,
+        system: SystemConfig | None,
+        collector: "TraceCollector | None",
+    ) -> ClosureResult:
         query = Query.full() if query is None else query
         system = SystemConfig() if system is None else system
         metrics = MetricSet()
-        engine = make_engine(system, graph, metrics=metrics)
+        engine = make_engine(system, graph, metrics=metrics, collector=collector)
         store = engine.make_list_store(PageKind.SUCCESSOR, policy=system.list_policy)
         start = time.process_time()
         metrics.io.phase = Phase.COMPUTE
+        if collector is not None:
+            collector.phase = Phase.COMPUTE.value
 
         if query.is_full:
             rows: list[int] = list(graph.nodes())
@@ -144,6 +173,8 @@ class SeminaiveAlgorithm:
         )
 
         metrics.io.phase = Phase.WRITEOUT
+        if collector is not None:
+            collector.phase = Phase.WRITEOUT.value
         if engine.supports(CAP_PAGE_COSTS):
             output_pages: set[PageId] = set()
             for row in rows:
@@ -173,6 +204,13 @@ class SeminaiveAlgorithm:
         get new numbers each round -- a delta file is never reused.
         """
         num_pages = pages_needed(tuples, TUPLES_PER_PAGE)
+        if engine.collector is not None:
+            engine.collector.emit(
+                EV_DELTA_SPOOL,
+                PageKind.DELTA.value,
+                first_page,
+                detail=f"pages={num_pages} tuples={tuples}",
+            )
         if engine.supports(CAP_PAGE_COSTS):
             for offset in range(num_pages):
                 engine.create_page(PageKind.DELTA, first_page + offset)
@@ -181,8 +219,15 @@ class SeminaiveAlgorithm:
     @staticmethod
     def _scan_delta(engine: StorageEngine, end_page: int, tuples: int) -> None:
         """Sequentially read the current delta relation."""
+        num_pages = pages_needed(tuples, TUPLES_PER_PAGE)
+        if engine.collector is not None:
+            engine.collector.emit(
+                EV_DELTA_SCAN,
+                PageKind.DELTA.value,
+                end_page - num_pages,
+                detail=f"pages={num_pages} tuples={tuples}",
+            )
         if not engine.supports(CAP_PAGE_COSTS):
             return
-        num_pages = pages_needed(tuples, TUPLES_PER_PAGE)
         for offset in range(num_pages):
             engine.touch_page(PageKind.DELTA, end_page - num_pages + offset)

@@ -19,15 +19,26 @@ Examples::
     # Buffer-pool profile: hit-ratio timeline, kind histogram, hot pages
     python -m repro profile --algorithm btc --family G4 --scale 4
 
-    # Regression gate between two JSONL record files
-    python -m repro compare baseline.jsonl out.jsonl --threshold 0.05
+    # Engine event trace (Chrome trace-event JSON; open in Perfetto)
+    python -m repro --algorithm btc --family G4 --scale 4 \\
+        --trace-out run.trace.json
+
+    # Regression gate between two JSONL record files (total_io exact,
+    # wall gated with a noise band derived from --reps samples)
+    python -m repro compare baseline.jsonl out.jsonl --wall-threshold 0.1
+
+    # Render the self-contained HTML dashboard
+    python -m repro obs report --records out.jsonl --trace run.trace.json \\
+        --out report.html
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
+import time
 
 from repro.baselines import BASELINE_NAMES, make_baseline
 from repro.chaos.audit import AUDIT_MODES, ENV_AUDIT, set_audit_mode
@@ -39,10 +50,11 @@ from repro.graphs.datasets import build_graph, sample_sources
 from repro.graphs.digraph import Digraph
 from repro.graphs.generator import generate_dag
 from repro.metrics.report import format_table
-from repro.obs.compare import compare_runs
+from repro.obs.compare import compare_runs, load_records
 from repro.obs.record import RunRecord, summarise_trace
 from repro.obs.sink import JsonlSink
 from repro.obs.spans import SpanRecorder
+from repro.obs.tracing import TraceCollector, validate_chrome_trace, write_chrome_trace
 from repro.storage.engine import ENGINE_NAMES
 from repro.storage.trace import PageTrace
 
@@ -131,13 +143,20 @@ def _run_parser() -> argparse.ArgumentParser:
     telemetry.add_argument("--emit-json", metavar="PATH", default=None,
                            help="append one RunRecord JSON line per run to PATH")
     telemetry.add_argument("--trace-out", metavar="PATH", default=None,
-                           help="write the buffer-pool trace profile (JSON) to PATH")
+                           help="write an engine event trace as Chrome "
+                           "trace-event JSON to PATH (open in Perfetto or "
+                           "chrome://tracing; needs the paged engine)")
     telemetry.add_argument("--quiet", "-q", action="store_true",
                            help="suppress the pre-run banner (keep the result table)")
     execution = parser.add_argument_group("execution")
     execution.add_argument("--jobs", "-j", type=int, default=1, metavar="N",
                            help="run the algorithms across N worker processes "
-                           "(default: 1 = in-process; ignored with --trace-out)")
+                           "(default: 1 = in-process)")
+    execution.add_argument("--reps", type=int, default=1, metavar="N",
+                           help="repeat every run N times, emitting one "
+                           "RunRecord per repetition (counters are "
+                           "deterministic; this multiplies the timing "
+                           "samples the compare gate's noise band uses)")
     execution.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
                            help="per-algorithm wall-clock limit when --jobs > 1 "
                            "(one retry, then a structured error and exit 1)")
@@ -157,7 +176,11 @@ def _run_parallel(args: argparse.Namespace, names: list[str],
 
     Each algorithm becomes one work unit on the same (deterministically
     seeded) graph and query, so the result table is identical to the
-    serial run's -- only wall-clock attribution differs.
+    serial run's -- only wall-clock attribution differs.  With
+    ``--trace-out``, workers instrument their unit exactly like the
+    serial path and ship the trace events back; the parent merges the
+    per-algorithm sections in submission order, so the trace file is
+    event-for-event equal to a serial run's.
     """
     from repro.experiments.parallel import ExperimentEngine, GraphSpec, WorkUnit
     from repro.experiments.queries import QuerySpec
@@ -169,22 +192,34 @@ def _run_parallel(args: argparse.Namespace, names: list[str],
     query_spec = (QuerySpec.full() if args.sources is None
                   else QuerySpec.selection(args.sources))
     workload = tuple(_workload_dict(args).items())
-    units = [
-        WorkUnit(cell_index=index, algorithm=name, graph=spec, query=query_spec,
-                 system=config, source_seed=args.seed, workload=workload)
-        for index, name in enumerate(names)
-    ]
+
+    def _units(collect_trace: bool) -> list["WorkUnit"]:
+        return [
+            WorkUnit(cell_index=index, algorithm=name, graph=spec, query=query_spec,
+                     system=config, source_seed=args.seed, workload=workload,
+                     collect_trace=collect_trace)
+            for index, name in enumerate(names)
+        ]
+
     with ExperimentEngine(jobs=args.jobs, timeout=args.timeout) as engine:
-        outcomes = engine.map_units(units)
+        # Only the first repetition carries the trace instrumentation:
+        # counters are deterministic across reps, so one event stream
+        # describes them all.
+        outcomes = engine.map_units(_units(args.trace_out is not None))
+        rep_outcomes = [engine.map_units(_units(False))
+                        for _ in range(args.reps - 1)]
 
     sink = JsonlSink(args.emit_json, enabled=True) if args.emit_json is not None else None
     rows = []
+    trace_sections = []
     for name, outcome in zip(names, outcomes):
         if outcome.error is not None:
             print(f"error: {outcome.error.render()}", file=sys.stderr)
             continue
         if sink is not None:
             sink.emit(outcome.record)
+        if outcome.trace is not None:
+            trace_sections.append((name, list(outcome.trace)))
         metrics = outcome.result.metrics
         rows.append(
             {
@@ -199,17 +234,23 @@ def _run_parallel(args: argparse.Namespace, names: list[str],
             }
         )
     if sink is not None:
+        for rep in rep_outcomes:
+            for outcome in rep:
+                if outcome.error is None:
+                    sink.emit(outcome.record)
         sink.close()
+    if args.trace_out is not None and trace_sections:
+        write_chrome_trace(args.trace_out, trace_sections)
     if rows:
         print(format_table(rows))
     return 1 if engine.failures else 0
 
 
 def _run_command(args: argparse.Namespace) -> int:
-    parallel = args.jobs > 1 and args.trace_out is None
-    if args.jobs > 1 and args.trace_out is not None:
-        print("note: --trace-out needs in-process tracing; running serially",
-              file=sys.stderr)
+    parallel = args.jobs > 1
+    if args.reps < 1:
+        print("error: --reps must be >= 1", file=sys.stderr)
+        return 2
     plan = None
     try:
         if args.chaos:
@@ -246,7 +287,7 @@ def _run_command(args: argparse.Namespace) -> int:
     # enabled=True: an explicit --emit-json beats the REPRO_OBS env toggle.
     sink = JsonlSink(args.emit_json, enabled=True) if args.emit_json is not None else None
     workload = _workload_dict(args)
-    trace_profiles: dict[str, object] = {}
+    trace_sections: list[tuple[str, list]] = []
 
     rows = []
     try:
@@ -255,26 +296,50 @@ def _run_command(args: argparse.Namespace) -> int:
                 algorithm = make_baseline(name)
             else:
                 algorithm = make_algorithm(name)
+            # Baselines opt into the seam-level instrumentation (spans,
+            # trace events) with `accepts_instrumentation`; only the
+            # registry algorithms take a PageTrace.
+            two_phase = isinstance(algorithm, TwoPhaseAlgorithm)
+            instrumentable = two_phase or getattr(
+                algorithm, "accepts_instrumentation", False
+            )
 
-            recorder: SpanRecorder | None = None
-            trace: PageTrace | None = None
-            if instrument and isinstance(algorithm, TwoPhaseAlgorithm):
-                recorder = SpanRecorder()
-                trace = PageTrace() if args.trace_out is not None else None
-                result = algorithm.run(graph, query, config,
-                                       recorder=recorder, trace=trace)
-            else:
-                result = algorithm.run(graph, query, config)
+            for rep in range(args.reps):
+                recorder: SpanRecorder | None = None
+                trace: PageTrace | None = None
+                collector: TraceCollector | None = None
+                if instrument and instrumentable:
+                    # Counters are deterministic across reps; one event
+                    # stream (the first rep's) describes them all.
+                    if args.trace_out is not None and rep == 0:
+                        collector = TraceCollector(label=name)
+                        trace = PageTrace() if two_phase else None
+                    recorder = SpanRecorder(collector=collector)
 
-            if sink is not None:
-                record = RunRecord.from_result(
-                    result, workload=workload, recorder=recorder, trace=trace,
-                )
-                if plan is not None:
-                    record.faults = [e.as_dict() for e in plan.drain_events()]
-                sink.emit(record)
-            if trace is not None:
-                trace_profiles[name] = summarise_trace(trace)
+                start = time.perf_counter()
+                if recorder is not None:
+                    if two_phase:
+                        result = algorithm.run(graph, query, config,
+                                               recorder=recorder, trace=trace,
+                                               collector=collector)
+                    else:
+                        result = algorithm.run(graph, query, config,
+                                               recorder=recorder,
+                                               collector=collector)
+                else:
+                    result = algorithm.run(graph, query, config)
+                wall_seconds = time.perf_counter() - start
+
+                if sink is not None:
+                    record = RunRecord.from_result(
+                        result, workload=workload, recorder=recorder,
+                        trace=trace, wall_seconds=wall_seconds,
+                    )
+                    if plan is not None:
+                        record.faults = [e.as_dict() for e in plan.drain_events()]
+                    sink.emit(record)
+                if collector is not None:
+                    trace_sections.append((name, collector.events))
 
             metrics = result.metrics
             rows.append(
@@ -299,10 +364,7 @@ def _run_command(args: argparse.Namespace) -> int:
             sink.close()
 
     if args.trace_out is not None:
-        import json
-
-        with open(args.trace_out, "w") as handle:
-            json.dump(trace_profiles, handle, indent=2, sort_keys=True)
+        write_chrome_trace(args.trace_out, trace_sections)
 
     print(format_table(rows))
     return 0
@@ -393,10 +455,22 @@ def _compare_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("baseline", help="baseline JSONL file of RunRecords")
     parser.add_argument("candidate", help="candidate JSONL file of RunRecords")
-    parser.add_argument("--threshold", type=float, default=0.05,
-                        help="allowed relative total_io growth (default 0.05 = 5%%)")
+    parser.add_argument("--threshold", type=float, default=0.0,
+                        help="allowed relative total_io growth (default 0.0: "
+                        "the simulated counters are deterministic, so any "
+                        "growth is a regression)")
     parser.add_argument("--cpu-threshold", type=float, default=None,
                         help="also gate on cpu_seconds growth (default: report only)")
+    parser.add_argument("--wall-threshold", type=float, default=None,
+                        help="also gate on wall_seconds growth with a "
+                        "noise-aware band (default: not even reported)")
+    parser.add_argument("--wall-abs", type=float, default=0.005,
+                        help="absolute wall-clock growth always tolerated, "
+                        "in seconds (default 0.005)")
+    parser.add_argument("--noise-sigma", type=float, default=3.0,
+                        help="tolerate wall growth up to K standard "
+                        "deviations of the baseline cell's samples "
+                        "(default 3.0; needs --reps >= 2 baselines)")
     parser.add_argument("--quiet", "-q", action="store_true",
                         help="print regressions only")
     return parser
@@ -409,6 +483,9 @@ def _compare_command(args: argparse.Namespace) -> int:
             args.candidate,
             threshold=args.threshold,
             cpu_threshold=args.cpu_threshold,
+            wall_threshold=args.wall_threshold,
+            wall_abs=args.wall_abs,
+            noise_sigma=args.noise_sigma,
         )
     except (OSError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -426,10 +503,83 @@ def _compare_command(args: argparse.Namespace) -> int:
     return 1
 
 
+# -- `obs` --------------------------------------------------------------------
+
+
+def _obs_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro obs",
+        description="Observability artefact tooling: render HTML run "
+        "reports and validate trace files.",
+    )
+    sub = parser.add_subparsers(dest="obs_command", required=True)
+
+    report = sub.add_parser(
+        "report",
+        help="render a self-contained HTML dashboard from run artefacts",
+        description="Render a static, self-contained HTML dashboard "
+        "(phase waterfall, page heatmaps, pool residency, BENCH "
+        "trajectory) from any combination of a RunRecord JSONL file, a "
+        "--trace-out Chrome trace, and a BENCH_summary.json.",
+    )
+    report.add_argument("--records", metavar="PATH", default=None,
+                        help="JSONL RunRecord file (from --emit-json)")
+    report.add_argument("--trace", metavar="PATH", default=None,
+                        help="Chrome trace JSON file (from --trace-out)")
+    report.add_argument("--bench", metavar="PATH", default=None,
+                        help="BENCH_summary.json for the trajectory panel "
+                        "(default: derived from --records)")
+    report.add_argument("--out", metavar="PATH", default="report.html",
+                        help="output HTML path (default: report.html)")
+    report.add_argument("--title", default="repro run report",
+                        help="report title")
+
+    validate = sub.add_parser(
+        "validate-trace",
+        help="check that a file is valid Chrome trace-event JSON",
+        description="Validate a --trace-out file: JSON shape, event "
+        "phases, timestamps, and balanced span begin/end pairs.",
+    )
+    validate.add_argument("trace", help="Chrome trace JSON file")
+    return parser
+
+
+def _obs_command(args: argparse.Namespace) -> int:
+    try:
+        if args.obs_command == "validate-trace":
+            with open(args.trace) as handle:
+                payload = json.load(handle)
+            problems = validate_chrome_trace(payload)
+            if problems:
+                for problem in problems:
+                    print(f"INVALID: {problem}", file=sys.stderr)
+                return 1
+            events = sum(1 for e in payload["traceEvents"] if e.get("ph") != "M")
+            print(f"{args.trace}: valid Chrome trace ({events} events)")
+            return 0
+
+        from repro.obs.report import load_bench_entries, render_report
+
+        records = load_records(args.records) if args.records else []
+        trace_payload = None
+        if args.trace:
+            with open(args.trace) as handle:
+                trace_payload = json.load(handle)
+        bench = load_bench_entries(args.bench) if args.bench else None
+        out = render_report(args.out, records, trace_payload=trace_payload,
+                            bench_entries=bench, title=args.title)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"wrote {out}")
+    return 0
+
+
 _SUBCOMMANDS = {
     "run": (_run_parser, _run_command),
     "profile": (_profile_parser, _profile_command),
     "compare": (_compare_parser, _compare_command),
+    "obs": (_obs_parser, _obs_command),
 }
 
 

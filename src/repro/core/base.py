@@ -34,6 +34,7 @@ from repro.core.result import ClosureResult
 from repro.errors import CyclicGraphError, InvalidNodeError
 from repro.graphs.digraph import Digraph
 from repro.obs.spans import SpanRecorder, span
+from repro.obs.tracing import TraceCollector
 from repro.storage.engine import CAP_PAGE_COSTS, PageId
 from repro.storage.iostats import Phase
 from repro.storage.trace import PageTrace
@@ -101,14 +102,17 @@ class TwoPhaseAlgorithm(ABC):
         system: SystemConfig | None = None,
         recorder: SpanRecorder | None = None,
         trace: PageTrace | None = None,
+        collector: TraceCollector | None = None,
     ) -> ClosureResult:
         """Execute the algorithm and return the answer plus cost profile.
 
         ``recorder`` (optional) collects nested wall-clock spans for the
         run and its phases; ``trace`` (optional) records every buffer
-        event with full page identity.  Both are pure observers: they
-        never change any cost counter, and when omitted the run is
-        exactly the un-instrumented execution.
+        event with full page identity; ``collector`` (optional) records
+        structured trace events for Chrome-trace export and reports
+        (requires an engine with ``CAP_TRACE``).  All are pure
+        observers: they never change any cost counter, and when omitted
+        the run is exactly the un-instrumented execution.
         """
         query = Query.full() if query is None else query
         system = SystemConfig() if system is None else system
@@ -127,6 +131,7 @@ class TwoPhaseAlgorithm(ABC):
             needs_inverse=self.needs_inverse,
             recorder=recorder,
             trace=trace,
+            collector=collector,
         )
         with span("run", recorder):
             start = time.process_time()

@@ -17,6 +17,7 @@ from repro.core.query import Query, SystemConfig
 from repro.graphs.digraph import Digraph
 from repro.metrics.counters import MetricSet
 from repro.obs.spans import SpanRecorder
+from repro.obs.tracing import TraceCollector
 from repro.storage.engine import CAP_AUDIT, StorageEngine, make_engine
 from repro.storage.iostats import Phase
 from repro.storage.trace import PageTrace
@@ -33,6 +34,7 @@ class ExecutionContext:
         needs_inverse: bool = False,
         recorder: SpanRecorder | None = None,
         trace: PageTrace | None = None,
+        collector: TraceCollector | None = None,
     ) -> None:
         self.graph = graph
         self.query = query
@@ -40,6 +42,7 @@ class ExecutionContext:
         self.metrics = MetricSet()
         self.recorder = recorder
         self.trace = trace
+        self.collector = collector
         # The invariant auditor (repro.chaos.audit): None when audit
         # mode is "off", cheap end-of-run checks by default, plus
         # after-every-eviction pool checks in "strict" mode.  A pure
@@ -53,6 +56,7 @@ class ExecutionContext:
             recorder=recorder,
             trace=trace,
             auditor=self.auditor,
+            collector=collector,
         )
         if self.auditor is not None and not self.engine.supports(CAP_AUDIT):
             # An *explicitly* requested audit was already refused by the
@@ -120,6 +124,8 @@ class ExecutionContext:
         if self.auditor is not None:
             self.auditor.check_counters(self.metrics.io)
         self.metrics.io.phase = phase
+        if self.collector is not None:
+            self.collector.phase = phase.value
 
     # -- shared helpers used by the algorithms ------------------------------
 

@@ -25,6 +25,7 @@ from repro.core.base import TwoPhaseAlgorithm
 from repro.core.btc import BtcAlgorithm
 from repro.core.context import ExecutionContext
 from repro.errors import BufferPoolExhaustedError
+from repro.obs.tracing import EV_BLOCK_REBLOCK
 from repro.storage.engine import CAP_PINNING, PageId
 
 
@@ -109,6 +110,8 @@ class HybridAlgorithm(TwoPhaseAlgorithm):
                     "hybrid block cannot shrink further; reduce ILIMIT"
                 )
             unpinned_lists.add(victim)
+            if ctx.collector is not None:
+                ctx.collector.emit(EV_BLOCK_REBLOCK, detail=f"victim={victim}")
             still_needed: set[PageId] = set()
             for node in block:
                 if node not in unpinned_lists:

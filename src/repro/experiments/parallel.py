@@ -86,6 +86,7 @@ from repro.graphs.digraph import Digraph
 from repro.graphs.generator import generate_dag
 from repro.obs.record import RunRecord, system_config_dict
 from repro.obs.sink import RunSink, get_global_sink, reset_worker_sinks
+from repro.obs.tracing import TraceCollector, TraceEventRecord
 
 DEFAULT_RETRIES = 1
 """How many times a failed or timed-out unit is resubmitted."""
@@ -158,6 +159,10 @@ class WorkUnit:
     sample_index: int = 0
     source_seed: int | None = None
     workload: tuple[tuple[str, Any], ...] = ()
+    collect_trace: bool = False
+    """Instrument the run (spans + page trace + event collector) exactly
+    like the serial ``--trace-out`` path, and ship the trace events back
+    on :attr:`UnitOutcome.trace`."""
 
     def describe(self) -> dict[str, Any]:
         """A JSON-safe identity for error records."""
@@ -197,6 +202,9 @@ class UnitOutcome:
     result: ClosureResult | None = None
     record: RunRecord | None = None
     error: UnitError | None = None
+    trace: tuple[TraceEventRecord, ...] | None = None
+    """The unit's trace events (``collect_trace`` units only); frozen
+    records are picklable, so they cross the process boundary intact."""
 
     @property
     def ok(self) -> bool:
@@ -331,9 +339,34 @@ def execute_unit(unit: WorkUnit, timeout: float | None, attempt: int = 1,
         graph = _cached_graph(unit.graph)
         query = unit.query.materialise(graph, unit.sample_index, seed=unit.source_seed)
         algorithm = _make_runner(unit.algorithm)
+        recorder = trace = collector = None
+        if unit.collect_trace:
+            # Mirror the serial --trace-out instrumentation exactly, so
+            # a --jobs N trace merges to the same event stream.
+            from repro.core.base import TwoPhaseAlgorithm
+            from repro.obs.spans import SpanRecorder
+            from repro.storage.trace import PageTrace
+
+            instrumentable = isinstance(algorithm, TwoPhaseAlgorithm) or getattr(
+                algorithm, "accepts_instrumentation", False
+            )
+            if instrumentable:
+                collector = TraceCollector(label=unit.algorithm)
+                recorder = SpanRecorder(collector=collector)
+                if isinstance(algorithm, TwoPhaseAlgorithm):
+                    trace = PageTrace()
         with _unit_guard(timeout) as check_deadline:
             start = time.perf_counter()
-            result = algorithm.run(graph, query, unit.system)
+            if collector is not None:
+                if trace is not None:
+                    result = algorithm.run(graph, query, unit.system,
+                                           recorder=recorder, trace=trace,
+                                           collector=collector)
+                else:
+                    result = algorithm.run(graph, query, unit.system,
+                                           recorder=recorder, collector=collector)
+            else:
+                result = algorithm.run(graph, query, unit.system)
             wall_seconds = time.perf_counter() - start
             check_deadline()
     except UnitTimeout as exc:
@@ -350,7 +383,10 @@ def execute_unit(unit: WorkUnit, timeout: float | None, attempt: int = 1,
         return outcome
     workload = dict(unit.workload) or {"nodes": graph.num_nodes, "arcs": graph.num_arcs}
     outcome.result = result
-    outcome.record = RunRecord.from_result(result, workload=workload, wall_seconds=wall_seconds)
+    outcome.record = RunRecord.from_result(result, workload=workload, recorder=recorder,
+                                           trace=trace, wall_seconds=wall_seconds)
+    if collector is not None:
+        outcome.trace = tuple(collector.events)
     if plan is not None:
         # Non-fatal faults (slow-io, evict-storm) that fired during the
         # run travel with the record, so chaos runs are auditable.

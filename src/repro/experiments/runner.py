@@ -42,6 +42,7 @@ from repro.experiments.config import ScaleProfile
 from repro.experiments.queries import QuerySpec
 from repro.graphs.datasets import GraphFamily, graph_family
 from repro.graphs.digraph import Digraph
+from repro.obs.bench import bench_reps
 from repro.obs.record import RunRecord
 from repro.obs.sink import RunSink, get_global_sink
 from repro.obs.spans import SpanRecorder
@@ -65,29 +66,38 @@ def run_single(
     When ``sink`` is given -- or a process-wide sink is installed via
     :func:`repro.obs.sink.set_global_sink` -- a :class:`RunRecord`
     describing the run (tagged with ``workload``) is emitted to it.
+
+    When :func:`repro.obs.bench.set_bench_reps` installs ``N > 1``,
+    the run is repeated ``N`` times and a record emitted *per
+    repetition* -- the simulated counters are deterministic across
+    reps, so this purely multiplies the timing samples the bench
+    summary and the compare gate's variance band draw from.
     """
     query = query_spec.materialise(graph, sample_index)
-    start = time.perf_counter()
-    result = make_algorithm(algorithm).run(
-        graph, query, system or SystemConfig(), recorder=recorder, trace=trace
-    )
-    wall_seconds = time.perf_counter() - start
-
-    global_sink = get_global_sink()
-    if sink is not None or global_sink is not None:
-        if workload is None:
-            workload = {"nodes": graph.num_nodes, "arcs": graph.num_arcs}
-        record = RunRecord.from_result(
-            result,
-            workload=workload,
-            recorder=recorder,
-            trace=trace,
-            wall_seconds=wall_seconds,
+    result: ClosureResult | None = None
+    for _rep in range(bench_reps()):
+        start = time.perf_counter()
+        result = make_algorithm(algorithm).run(
+            graph, query, system or SystemConfig(), recorder=recorder, trace=trace
         )
-        if sink is not None:
-            sink.emit(record)
-        if global_sink is not None and global_sink is not sink:
-            global_sink.emit(record)
+        wall_seconds = time.perf_counter() - start
+
+        global_sink = get_global_sink()
+        if sink is not None or global_sink is not None:
+            if workload is None:
+                workload = {"nodes": graph.num_nodes, "arcs": graph.num_arcs}
+            record = RunRecord.from_result(
+                result,
+                workload=workload,
+                recorder=recorder,
+                trace=trace,
+                wall_seconds=wall_seconds,
+            )
+            if sink is not None:
+                sink.emit(record)
+            if global_sink is not None and global_sink is not sink:
+                global_sink.emit(record)
+    assert result is not None  # bench_reps() >= 1 always
     return result
 
 

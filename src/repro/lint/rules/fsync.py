@@ -10,6 +10,14 @@ must therefore also ``flush()`` it and ``os.fsync()`` its fd.
 
 Functions that only write through an already-durable helper (no direct
 ``.write(`` call) are out of scope.
+
+A writer may also *delegate* durability: calling a sibling function in
+the same module whose own body contains the ``flush()`` + ``os.fsync()``
+pair satisfies the rule (the batched :class:`~repro.obs.sink.JsonlSink`
+writes per record but funnels every durability point through one
+``_make_durable()`` helper).  The delegation is only honoured when the
+helper itself is defined in the checked module, so the discipline stays
+auditable file-locally.
 """
 
 from __future__ import annotations
@@ -53,9 +61,21 @@ class FsyncDisciplineRule(Rule):
                 return call
         return None
 
+    def _durable_helpers(self, tree: ast.AST) -> set[str]:
+        """Names of functions whose own body flushes *and* fsyncs."""
+        helpers: set[str] = set()
+        for node in ast.walk(tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            names = {terminal_name(call.func) for call in self._calls_in(node)}
+            if "flush" in names and "fsync" in names:
+                helpers.add(node.name)
+        return helpers
+
     def check(self, ctx: FileContext) -> Iterable[Finding]:
         if not self.applies_to(ctx.module, self.modules):
             return
+        durable_helpers = self._durable_helpers(ctx.tree)
         for node in ast.walk(ctx.tree):
             if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
                 continue
@@ -64,13 +84,16 @@ class FsyncDisciplineRule(Rule):
                 continue
             has_flush = False
             has_fsync = False
+            delegates = False
             for call in self._calls_in(node):
                 name = terminal_name(call.func)
                 if name == "flush":
                     has_flush = True
                 elif name == "fsync":
                     has_fsync = True
-            if has_flush and has_fsync:
+                elif name in durable_helpers:
+                    delegates = True
+            if delegates or (has_flush and has_fsync):
                 continue
             missing = []
             if not has_flush:

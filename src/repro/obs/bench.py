@@ -7,10 +7,20 @@ the process-wide sink, so every :func:`~repro.experiments.runner
 folded into one entry per *benchmark cell* (algorithm x workload x
 query shape) and written as ``BENCH_summary.json`` -- the durable
 perf-trajectory file later PRs diff against.
+
+Repetitions: the bench harness can run each cell ``N`` times
+(``--repro-reps`` in the benchmark suite, ``--reps`` on the CLI).  The
+simulated counters are deterministic, so the per-cell ``total_io`` is
+a mean purely for symmetry; the *measured* metrics use **min-of-N** --
+the minimum is the least-noisy estimator of a timing's true cost on a
+shared machine -- with every sample preserved in ``cpu_samples`` /
+``wall_samples`` so the compare gate can derive a variance band.
 """
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
 from typing import Any
 
 from repro.obs.record import RunRecord
@@ -23,11 +33,12 @@ def _query_label(query: dict[str, Any]) -> str:
 
 
 def build_bench_summary(records: list[RunRecord]) -> list[dict[str, Any]]:
-    """One summary entry per cell, averaging that cell's runs.
+    """One summary entry per cell, aggregating that cell's runs.
 
     Each entry carries the cell identity (algorithm, family/workload,
-    query shape) plus mean ``total_io``, mean ``cpu_seconds`` and mean
-    wall-clock seconds over the cell's runs.
+    query shape) plus mean ``total_io`` and min-of-N ``cpu_seconds``
+    and ``wall_seconds``.  Cells with more than one run additionally
+    record every timing sample (``cpu_samples``/``wall_samples``).
     """
     cells: dict[tuple[str, str, str, str], list[RunRecord]] = {}
     for record in records:
@@ -37,6 +48,8 @@ def build_bench_summary(records: list[RunRecord]) -> list[dict[str, Any]]:
     for key in sorted(cells):
         runs = cells[key]
         first = runs[0]
+        cpu_samples = [round(r.cpu_seconds, 6) for r in runs]
+        wall_samples = [round(r.wall_seconds, 6) for r in runs]
         entry: dict[str, Any] = {
             "algorithm": first.algorithm,
             "family": first.workload.get("family"),
@@ -46,8 +59,43 @@ def build_bench_summary(records: list[RunRecord]) -> list[dict[str, Any]]:
             "system": first.system,
             "runs": len(runs),
             "total_io": sum(r.total_io for r in runs) / len(runs),
-            "cpu_seconds": round(sum(r.cpu_seconds for r in runs) / len(runs), 6),
-            "wall_seconds": round(sum(r.wall_seconds for r in runs) / len(runs), 6),
+            "cpu_seconds": min(cpu_samples),
+            "wall_seconds": min(wall_samples),
         }
+        if len(runs) > 1:
+            entry["cpu_samples"] = cpu_samples
+            entry["wall_samples"] = wall_samples
         summary.append(entry)
     return summary
+
+
+def write_bench_summary(summary: Any, path: str | Path) -> None:
+    """Write a bench summary as reviewable JSON.
+
+    Keys are sorted and the file ends with a trailing newline, so the
+    diff between two PRs' ``BENCH_summary.json`` is minimal and every
+    line is a real change.
+    """
+    Path(path).write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n")
+
+
+# -- repetitions knob --------------------------------------------------------
+
+_bench_reps = 1
+
+
+def set_bench_reps(reps: int) -> int:
+    """Set how many times :func:`~repro.experiments.runner.run_single`
+    repeats each run (returns the previous value so callers restore it).
+    """
+    global _bench_reps
+    if reps < 1:
+        raise ValueError(f"reps must be >= 1, got {reps}")
+    previous = _bench_reps
+    _bench_reps = reps
+    return previous
+
+
+def bench_reps() -> int:
+    """The current per-run repetition count (1 = no repetition)."""
+    return _bench_reps

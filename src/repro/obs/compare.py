@@ -4,11 +4,24 @@ Loads two JSONL files of :class:`~repro.obs.record.RunRecord`\\ s,
 groups each side into experimental *cells* (algorithm x workload x
 query shape), averages repetitions within a cell, and reports the
 per-cell delta of the paper's primary measure (``total_io``) and of
-``cpu_seconds``.  A relative threshold turns the report into a
-regression gate: ``python -m repro compare baseline.jsonl out.jsonl``
-exits non-zero iff any cell's ``total_io`` grew by more than the
-threshold (CPU gating is off by default because process CPU time is
-noisy across machines; pass a ``cpu_threshold`` to enable it).
+``cpu_seconds``.  Thresholds turn the report into a *noise-aware*
+regression gate: every metric carries a :class:`MetricGate` combining
+a relative tolerance, an absolute floor, and a variance band derived
+from the baseline's own repetitions (``k`` standard deviations across
+the cell's samples).  The defaults express the repository's policy:
+
+* ``total_io`` is **deterministic** -- the simulator charges the same
+  page I/O every run -- so its gate is purely relative and the CLI
+  defaults it to *exact* (any growth fails);
+* ``cpu_seconds`` is measured and machine-noisy, so it is report-only
+  unless a ``cpu_threshold`` is passed;
+* ``wall_seconds`` is the noisiest of all: when gated (pass a
+  ``wall_threshold``) its band is ``max(rel x base, abs floor,
+  k x sigma)`` so a cell with three ``--reps`` samples showing 2%
+  jitter is not failed over a 1% drift.
+
+``python -m repro compare baseline.jsonl out.jsonl`` exits non-zero
+iff any gated metric in any cell grew beyond its band.
 """
 
 from __future__ import annotations
@@ -58,6 +71,58 @@ def load_records(source: RecordSource) -> list[RunRecord]:
 
 
 @dataclass(frozen=True)
+class MetricGate:
+    """Tolerance policy of one metric in the regression gate.
+
+    A metric regresses when its growth exceeds *all three* allowances
+    at once -- i.e. when ``delta > max(rel x baseline, absolute,
+    noise_sigma x stddev(baseline samples))``.  ``rel=None`` makes the
+    metric report-only (its delta is shown, never gated).
+    """
+
+    metric: str
+    rel: float | None = None
+    absolute: float = 0.0
+    noise_sigma: float = 0.0
+
+    @property
+    def gated(self) -> bool:
+        return self.rel is not None
+
+    def allowance(self, base_mean: float, base_std: float) -> float:
+        """The absolute growth this gate tolerates for one cell."""
+        return max(
+            (self.rel or 0.0) * base_mean,
+            self.absolute,
+            self.noise_sigma * base_std,
+        )
+
+
+def default_gates(
+    threshold: float = 0.05,
+    cpu_threshold: float | None = None,
+    wall_threshold: float | None = None,
+    wall_abs: float = 0.005,
+    noise_sigma: float = 3.0,
+) -> tuple[MetricGate, ...]:
+    """The standard gate set (see the module docstring for the policy)."""
+    gates = [
+        MetricGate("total_io", rel=threshold),
+        MetricGate("cpu_seconds", rel=cpu_threshold),
+    ]
+    if wall_threshold is not None:
+        gates.append(
+            MetricGate(
+                "wall_seconds",
+                rel=wall_threshold,
+                absolute=wall_abs,
+                noise_sigma=noise_sigma,
+            )
+        )
+    return tuple(gates)
+
+
+@dataclass(frozen=True)
 class CellDelta:
     """The change of one metric in one experimental cell."""
 
@@ -66,6 +131,10 @@ class CellDelta:
     baseline: float
     candidate: float
     regressed: bool
+    allowance: float = 0.0
+    """Absolute growth the metric's gate tolerated in this cell."""
+    gated: bool = True
+    """False when the metric was report-only here."""
 
     @property
     def delta(self) -> float:
@@ -105,6 +174,12 @@ class ComparisonReport:
         rows = []
         for d in self.deltas:
             ratio = d.ratio
+            if not d.gated:
+                verdict = "report-only"
+            elif d.regressed:
+                verdict = "REGRESSED"
+            else:
+                verdict = "ok"
             rows.append(
                 {
                     "cell": d.cell,
@@ -113,7 +188,8 @@ class ComparisonReport:
                     "candidate": d.candidate,
                     "delta": d.delta,
                     "delta_%": "n/a" if ratio is None else f"{100 * ratio:+.1f}%",
-                    "verdict": "REGRESSED" if d.regressed else "ok",
+                    "band": f"{d.allowance:g}" if d.gated else "-",
+                    "verdict": verdict,
                 }
             )
         parts = [format_table(rows, title="repro compare")]
@@ -154,18 +230,36 @@ def _mean(values: list[float]) -> float:
     return sum(values) / len(values) if values else 0.0
 
 
+def _std(values: list[float]) -> float:
+    """Population standard deviation (0.0 for fewer than two samples)."""
+    if len(values) < 2:
+        return 0.0
+    mean = _mean(values)
+    return (sum((v - mean) ** 2 for v in values) / len(values)) ** 0.5
+
+
 def compare_runs(
     baseline: RecordSource,
     candidate: RecordSource,
     threshold: float = 0.05,
     cpu_threshold: float | None = None,
+    *,
+    gates: tuple[MetricGate, ...] | None = None,
+    wall_threshold: float | None = None,
+    wall_abs: float = 0.005,
+    noise_sigma: float = 3.0,
 ) -> ComparisonReport:
     """Diff two sets of run records cell by cell.
 
-    ``threshold`` is the relative growth of mean ``total_io`` a cell may
-    show before it counts as a regression (0.05 = 5%); a baseline of 0
-    regresses on any growth at all.  ``cpu_threshold`` does the same for
-    mean ``cpu_seconds`` and is off (report-only) by default.
+    ``threshold`` is the relative growth of mean ``total_io`` a cell
+    may show before it counts as a regression (0.0 = byte-exact, the
+    CLI default; a baseline of 0 regresses on any growth at all).
+    ``cpu_threshold`` does the same for mean ``cpu_seconds`` and is off
+    (report-only) by default.  ``wall_threshold`` additionally gates
+    mean ``wall_seconds`` with the noise-aware band ``max(rel x base,
+    wall_abs, noise_sigma x stddev(baseline samples))``.  Pass
+    ``gates`` to replace the whole policy with explicit
+    :class:`MetricGate`\\ s.
     """
     base_cells = _cells(load_records(baseline))
     cand_cells = _cells(load_records(candidate))
@@ -178,20 +272,30 @@ def compare_runs(
         _cell_label(key) for key in cand_cells if key not in base_cells
     ]
 
-    gates = {"total_io": threshold, "cpu_seconds": cpu_threshold}
+    if gates is None:
+        gates = default_gates(
+            threshold, cpu_threshold, wall_threshold, wall_abs, noise_sigma
+        )
     for key, base_records in base_cells.items():
         cand_records = cand_cells.get(key)
         if cand_records is None:
             continue
         label = _cell_label(key)
-        for metric, gate in gates.items():
-            base = _mean([getattr(r, metric) for r in base_records])
-            cand = _mean([getattr(r, metric) for r in cand_records])
-            if gate is None:
-                regressed = False
-            elif base == 0:
-                regressed = cand > 0
-            else:
-                regressed = (cand - base) / base > gate
-            report.deltas.append(CellDelta(label, metric, base, cand, regressed))
+        for gate in gates:
+            base_values = [getattr(r, gate.metric) for r in base_records]
+            base = _mean(base_values)
+            cand = _mean([getattr(r, gate.metric) for r in cand_records])
+            allowance = gate.allowance(base, _std(base_values))
+            regressed = gate.gated and cand - base > allowance
+            report.deltas.append(
+                CellDelta(
+                    label,
+                    gate.metric,
+                    base,
+                    cand,
+                    regressed,
+                    allowance=allowance,
+                    gated=gate.gated,
+                )
+            )
     return report

@@ -1,0 +1,145 @@
+"""Aggregations over trace events: page heatmaps and pool residency.
+
+These reduce a :class:`~repro.obs.tracing.TraceCollector` event stream
+(or one re-read from a Chrome trace file) into small JSON-safe grids
+the HTML report renders directly:
+
+* :func:`page_heatmap` -- how often each page (or page bin) was touched
+  in each slice of the run, split by page kind.  This is the picture
+  the paper argues with: BTC's sequential sweeps versus JKB's
+  scattered unclustered probes.
+* :func:`residency_timeline` -- how many distinct pages were resident
+  in (and pinned by) the buffer pool over the run, reconstructed from
+  fetch/create/evict/pin/unpin events.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.obs.tracing import (
+    EV_PAGE_CREATE,
+    EV_PAGE_EVICT,
+    EV_PAGE_FETCH,
+    EV_PAGE_PIN,
+    EV_PAGE_UNPIN,
+    PAGE_TOUCH_EVENTS,
+    TraceEventRecord,
+)
+
+__all__ = ["page_heatmap", "residency_timeline"]
+
+
+def _page_events(events: Sequence[TraceEventRecord]) -> list[TraceEventRecord]:
+    return [
+        record
+        for record in events
+        if record.name in PAGE_TOUCH_EVENTS and record.page is not None
+    ]
+
+
+def page_heatmap(
+    events: Sequence[TraceEventRecord],
+    *,
+    buckets: int = 48,
+    max_rows: int = 32,
+) -> dict[str, Any]:
+    """Bucket page touches into a (page-row x time-bucket) count grid.
+
+    Rows are per page when few pages were touched, otherwise contiguous
+    page *bins* per kind so the grid never exceeds ``max_rows`` rows.
+    Time buckets slice the event sequence evenly by event index (not
+    wall time): the grid stays meaningful even when most events land in
+    one hot phase.
+    """
+    touches = _page_events(events)
+    if not touches:
+        return {"rows": [], "buckets": 0, "max_count": 0, "touches": 0}
+    buckets = min(buckets, len(touches))
+    # Page universe per kind decides row granularity.
+    pages_by_kind: dict[str, set[int]] = {}
+    for record in touches:
+        pages_by_kind.setdefault(record.kind or "?", set()).add(record.page or 0)
+    total_pages = sum(len(pages) for pages in pages_by_kind.values())
+    rows: list[dict[str, Any]] = []
+    row_of: dict[tuple[str, int], int] = {}
+    for kind in sorted(pages_by_kind):
+        pages = sorted(pages_by_kind[kind])
+        # Proportional share of the row budget, at least one row per kind.
+        kind_rows = max(1, round(max_rows * len(pages) / total_pages))
+        bin_size = max(1, -(-len(pages) // kind_rows))  # ceil division
+        for start in range(0, len(pages), bin_size):
+            chunk = pages[start : start + bin_size]
+            index = len(rows)
+            rows.append(
+                {
+                    "kind": kind,
+                    "page_lo": chunk[0],
+                    "page_hi": chunk[-1],
+                    "counts": [0] * buckets,
+                }
+            )
+            for page in chunk:
+                row_of[(kind, page)] = index
+    span = len(touches)
+    for position, record in enumerate(touches):
+        bucket = min(buckets - 1, position * buckets // span)
+        row = row_of[(record.kind or "?", record.page or 0)]
+        rows[row]["counts"][bucket] += 1
+    max_count = max(max(row["counts"]) for row in rows)
+    return {
+        "rows": rows,
+        "buckets": buckets,
+        "max_count": max_count,
+        "touches": len(touches),
+    }
+
+
+def residency_timeline(
+    events: Sequence[TraceEventRecord], *, buckets: int = 96
+) -> dict[str, Any]:
+    """Reconstruct buffer-pool occupancy over the event sequence.
+
+    Fetches and creates admit a page, evictions drop it; pins nest.
+    Sampled at ``buckets`` evenly spaced points in event order, plus
+    the final state.
+    """
+    if not events:
+        return {"resident": [], "pinned": [], "peak_resident": 0, "buckets": 0}
+    buckets = min(buckets, len(events))
+    resident: set[tuple[str, int]] = set()
+    pins: dict[tuple[str, int], int] = {}
+    samples: list[int] = []
+    pinned_samples: list[int] = []
+    peak = 0
+    stride = len(events) / buckets
+    next_sample = stride
+    for position, record in enumerate(events, start=1):
+        key = (record.kind or "?", record.page or 0)
+        if record.name in (EV_PAGE_FETCH, EV_PAGE_CREATE):
+            resident.add(key)
+            peak = max(peak, len(resident))
+        elif record.name == EV_PAGE_EVICT:
+            resident.discard(key)
+            pins.pop(key, None)
+        elif record.name == EV_PAGE_PIN:
+            pins[key] = pins.get(key, 0) + 1
+        elif record.name == EV_PAGE_UNPIN:
+            count = pins.get(key, 0) - 1
+            if count <= 0:
+                pins.pop(key, None)
+            else:
+                pins[key] = count
+        if position >= next_sample:
+            samples.append(len(resident))
+            pinned_samples.append(len(pins))
+            next_sample += stride
+    if len(samples) < buckets:
+        samples.append(len(resident))
+        pinned_samples.append(len(pins))
+    return {
+        "resident": samples,
+        "pinned": pinned_samples,
+        "peak_resident": peak,
+        "buckets": len(samples),
+    }

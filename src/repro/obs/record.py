@@ -32,8 +32,20 @@ from repro.storage.trace import PageTrace, TraceEvent
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.result import ClosureResult
 
-SCHEMA_VERSION = 1
-"""Bump when the serialised RunRecord layout changes incompatibly."""
+SCHEMA_VERSION = 2
+"""Bump when the serialised RunRecord layout changes incompatibly.
+
+Version history:
+
+* **1** -- the original layout; ``trace`` always present (``null``
+  when no page trace was attached).
+* **2** -- ``trace`` is omitted entirely when no trace was collected,
+  matching the ``faults`` behaviour.  Version-1 records load
+  unchanged (an explicit ``"trace": null`` reads back as ``None``).
+"""
+
+SUPPORTED_SCHEMA_VERSIONS = frozenset({1, 2})
+"""Schema versions :meth:`RunRecord.from_dict` accepts."""
 
 
 def io_stats_dict(io: IoStats) -> dict[str, Any]:
@@ -240,11 +252,15 @@ class RunRecord:
         """Plain-dictionary form, ready for ``json.dumps``.
 
         ``faults`` is omitted when empty, so records of fault-free runs
-        serialise byte-identically to the pre-chaos schema.
+        serialise byte-identically to the pre-chaos schema; ``trace``
+        is likewise omitted when no page trace was collected (schema
+        version 2).
         """
         data = dataclasses.asdict(self)
         if not data["faults"]:
             del data["faults"]
+        if data["trace"] is None:
+            del data["trace"]
         return data
 
     def to_json(self) -> str:
@@ -253,7 +269,21 @@ class RunRecord:
 
     @classmethod
     def from_dict(cls, data: dict[str, Any]) -> "RunRecord":
-        """Rebuild a record from its dictionary form."""
+        """Rebuild a record from its dictionary form.
+
+        Accepts every schema version in
+        :data:`SUPPORTED_SCHEMA_VERSIONS` (older records simply lack
+        the newer optional keys); refuses records written by a *newer*
+        schema rather than silently dropping fields it cannot know
+        about.
+        """
+        version = data.get("schema_version", SCHEMA_VERSION)
+        if version not in SUPPORTED_SCHEMA_VERSIONS:
+            supported = ", ".join(str(v) for v in sorted(SUPPORTED_SCHEMA_VERSIONS))
+            raise ValueError(
+                f"unsupported RunRecord schema version {version!r} "
+                f"(supported: {supported})"
+            )
         known = {f.name for f in dataclasses.fields(cls)}
         return cls(**{key: value for key, value in data.items() if key in known})
 

@@ -29,6 +29,10 @@ from __future__ import annotations
 import math
 import time
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.tracing import TraceCollector
 
 
 @dataclass
@@ -101,9 +105,15 @@ class SpanRecorder:
 
     ``enabled=False`` turns every :meth:`span` into the shared no-op
     context manager, making an attached-but-disabled recorder free.
+
+    When ``collector`` is attached, every span open/close additionally
+    emits a ``span.begin``/``span.end`` trace event (the span *name*,
+    not the full path, travels in the event's ``detail``), which is how
+    phase waterfalls reach the Chrome trace and the HTML report.
     """
 
     enabled: bool = True
+    collector: "TraceCollector | None" = None
     _stack: list[str] = field(default_factory=list)
     _stats: dict[str, SpanStats] = field(default_factory=dict)
 
@@ -117,14 +127,18 @@ class SpanRecorder:
 
     def _push(self, name: str) -> None:
         self._stack.append(name)
+        if self.collector is not None:
+            self.collector.span_begin(name)
 
     def _pop(self, elapsed: float) -> None:
         path = "/".join(self._stack)
-        self._stack.pop()
+        name = self._stack.pop()
         stats = self._stats.get(path)
         if stats is None:
             stats = self._stats[path] = SpanStats(path)
         stats.add(elapsed)
+        if self.collector is not None:
+            self.collector.span_end(name)
 
     # -- introspection ------------------------------------------------------
 

@@ -37,6 +37,16 @@ from repro.errors import (
     PageNotPinnedError,
 )
 from repro.obs.spans import SpanRecorder, span
+from repro.obs.tracing import (
+    EV_PAGE_CREATE,
+    EV_PAGE_EVICT,
+    EV_PAGE_FETCH,
+    EV_PAGE_HIT,
+    EV_PAGE_PIN,
+    EV_PAGE_UNPIN,
+    EV_PAGE_WRITE,
+    TraceCollector,
+)
 from repro.storage.iostats import IoStats
 from repro.storage.page import PageId, PageKind
 
@@ -253,6 +263,12 @@ class BufferPool:
         strict mode the pool re-verifies its residency and pin
         accounting after every eviction.  Pure observer: never issues
         a page request or changes a counter.
+    collector:
+        Optional :class:`~repro.obs.tracing.TraceCollector`; when
+        attached, every pool event (hit, fetch, create, write, evict,
+        pin, unpin) is recorded as a structured trace event.  Same
+        contract as ``recorder``: one ``None`` check when absent,
+        never a counter change.
 
     Chaos: when a process-wide :class:`~repro.chaos.faults.FaultPlan`
     is armed, the physical-read path is a fault site (corrupt reads,
@@ -269,6 +285,7 @@ class BufferPool:
         policy: str | ReplacementPolicy = "lru",
         recorder: SpanRecorder | None = None,
         auditor: "InvariantAuditor | None" = None,
+        collector: TraceCollector | None = None,
     ) -> None:
         if capacity <= 0:
             raise ConfigurationError(f"buffer pool capacity must be positive, got {capacity}")
@@ -277,6 +294,7 @@ class BufferPool:
         self._policy = policy if isinstance(policy, ReplacementPolicy) else make_policy(policy)
         self._recorder = recorder
         self._auditor = auditor
+        self.collector = collector
         self._frames: dict[PageId, _Frame] = {}
         self._pinned: set[PageId] = set()
 
@@ -312,6 +330,8 @@ class BufferPool:
             self.stats.record_request(page.kind, hit=True)
             self._policy.note_access(page)
             frame.dirty = frame.dirty or dirty
+            if self.collector is not None:
+                self.collector.emit(EV_PAGE_HIT, page.kind.value, page.number)
             return True
 
         plan = active_plan()
@@ -328,6 +348,8 @@ class BufferPool:
             self.stats.record_read(page.kind)
             self._frames[page] = _Frame(page, dirty=dirty)
             self._policy.note_admit(page)
+            if self.collector is not None:
+                self.collector.emit(EV_PAGE_FETCH, page.kind.value, page.number)
             if plan is not None:
                 self._inject_read_faults(plan, page, pre_admit=False)
         return False
@@ -351,6 +373,8 @@ class BufferPool:
             self._evict_one()
         self._frames[page] = _Frame(page, dirty=True)
         self._policy.note_admit(page)
+        if self.collector is not None:
+            self.collector.emit(EV_PAGE_CREATE, page.kind.value, page.number)
 
     def pin(self, page: PageId, dirty: bool = False) -> bool:
         """Access and pin ``page``; return ``True`` on a hit.
@@ -361,6 +385,8 @@ class BufferPool:
         hit = self.access(page, dirty=dirty)
         self._frames[page].pin_count += 1
         self._pinned.add(page)
+        if self.collector is not None:
+            self.collector.emit(EV_PAGE_PIN, page.kind.value, page.number)
         return hit
 
     def unpin(self, page: PageId) -> None:
@@ -371,12 +397,18 @@ class BufferPool:
         frame.pin_count -= 1
         if frame.pin_count == 0:
             self._pinned.discard(page)
+        if self.collector is not None:
+            self.collector.emit(EV_PAGE_UNPIN, page.kind.value, page.number)
 
     def unpin_all(self) -> None:
         """Release every pin (used when Hybrid tears down a block)."""
         for page in list(self._pinned):
             frame = self._frames[page]
             frame.pin_count = 0
+            if self.collector is not None:
+                self.collector.emit(
+                    EV_PAGE_UNPIN, page.kind.value, page.number, detail="all"
+                )
         self._pinned.clear()
 
     def evict(self, page: PageId) -> None:
@@ -392,7 +424,7 @@ class BufferPool:
         """Write every dirty resident page, leaving all pages resident."""
         for frame in self._frames.values():
             if frame.dirty:
-                self._record_write(frame.page.kind)
+                self._record_write(frame.page.kind, frame.page.number)
                 frame.dirty = False
 
     def flush_selected(self, pages: set[PageId]) -> None:
@@ -405,7 +437,7 @@ class BufferPool:
         """
         for frame in self._frames.values():
             if frame.dirty and frame.page in pages:
-                self._record_write(frame.page.kind)
+                self._record_write(frame.page.kind, frame.page.number)
             frame.dirty = False
 
     def storm_evict(self, limit: int | None = None) -> int:
@@ -448,9 +480,11 @@ class BufferPool:
                     f"(chaos opportunity {event.opportunity})"
                 )
 
-    def _record_write(self, kind: PageKind) -> None:
+    def _record_write(self, kind: PageKind, number: int | None = None) -> None:
         with span("pool.write", self._recorder):
             self.stats.record_write(kind)
+        if self.collector is not None:
+            self.collector.emit(EV_PAGE_WRITE, kind.value, number)
 
     def _evict_one(self) -> None:
         victim = self._policy.choose_victim(self._pinned)
@@ -462,9 +496,13 @@ class BufferPool:
 
     def _drop(self, frame: _Frame) -> None:
         if frame.dirty:
-            self._record_write(frame.page.kind)
+            self._record_write(frame.page.kind, frame.page.number)
         del self._frames[frame.page]
         self._pinned.discard(frame.page)
         self._policy.note_evict(frame.page)
+        if self.collector is not None:
+            self.collector.emit(
+                EV_PAGE_EVICT, frame.page.kind.value, frame.page.number
+            )
         if self._auditor is not None:
             self._auditor.after_evict(self)

@@ -62,6 +62,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only (avoids import cycles)
     from repro.graphs.digraph import Digraph
     from repro.metrics.counters import MetricSet
     from repro.obs.spans import SpanRecorder
+    from repro.obs.tracing import TraceCollector
     from repro.storage.trace import PageTrace
 
 __all__ = [
@@ -113,7 +114,9 @@ CAP_AUDIT = "audit"
 """The invariant auditor can inspect this engine's substrate state."""
 
 CAP_TRACE = "trace"
-"""A :class:`~repro.storage.trace.PageTrace` can record page identities."""
+"""Page-identity tracing: a :class:`~repro.storage.trace.PageTrace` and/or
+a structured :class:`~repro.obs.tracing.TraceCollector` can record the
+engine's page, block and delta events."""
 
 
 _default: str | None = None  # process-wide override; None = env / "paged"
@@ -206,6 +209,9 @@ class StorageEngine(ABC):
     name: str = "abstract"
     capabilities: frozenset[str] = frozenset()
     store: ListStore
+    collector: "TraceCollector | None" = None
+    """The run's structured trace collector, when one is attached
+    (requires ``CAP_TRACE``); emit sites above the pool reach it here."""
 
     # -- capability hooks ---------------------------------------------------
 
@@ -317,13 +323,14 @@ def make_engine(
     recorder: "SpanRecorder | None" = None,
     trace: "PageTrace | None" = None,
     auditor: "InvariantAuditor | None" = None,
+    collector: "TraceCollector | None" = None,
 ) -> StorageEngine:
     """Build the engine named by ``system.engine`` for one run.
 
-    ``recorder``, ``trace`` and ``auditor`` are the observability
-    planes; engines that cannot honour an *explicitly requested* plane
-    refuse at construction time (capability hooks) rather than running
-    blind.
+    ``recorder``, ``trace``, ``auditor`` and ``collector`` are the
+    observability planes; engines that cannot honour an *explicitly
+    requested* plane refuse at construction time (capability hooks)
+    rather than running blind.
     """
     name = getattr(system, "engine", "") or default_engine()
     if name == "paged":
@@ -337,6 +344,7 @@ def make_engine(
             recorder=recorder,
             trace=trace,
             auditor=auditor,
+            collector=collector,
         )
     if name == "fast":
         from repro.storage.fast import FastEngine
@@ -349,6 +357,7 @@ def make_engine(
             recorder=recorder,
             trace=trace,
             auditor=auditor,
+            collector=collector,
         )
     valid = ", ".join(ENGINE_NAMES)
     raise ConfigurationError(

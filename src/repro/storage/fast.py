@@ -45,6 +45,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.graphs.digraph import Digraph
     from repro.metrics.counters import MetricSet
     from repro.obs.spans import SpanRecorder
+    from repro.obs.tracing import TraceCollector
     from repro.storage.trace import PageTrace
 
 
@@ -141,10 +142,13 @@ class FastEngine(StorageEngine):
         recorder: "SpanRecorder | None" = None,
         trace: "PageTrace | None" = None,
         auditor: "InvariantAuditor | None" = None,
+        collector: "TraceCollector | None" = None,
     ) -> None:
         # Refuse explicitly requested planes this engine cannot honour.
         if trace is not None:
             self.require(CAP_TRACE, "page tracing needs the simulated pool")
+        if collector is not None:
+            self.require(CAP_TRACE, "event tracing needs the simulated pool")
         if active_plan() is not None:
             self.require(CAP_CHAOS, "the storage fault sites live in the paged substrate")
         if explicit_audit_mode() not in (None, "off"):
@@ -152,6 +156,7 @@ class FastEngine(StorageEngine):
         self.graph = graph
         self.system = system
         self.metrics = metrics
+        self.collector = None
         self.pool = None
         self.relation = None
         self.inverse_relation = None

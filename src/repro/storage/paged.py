@@ -40,6 +40,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.graphs.digraph import Digraph
     from repro.metrics.counters import MetricSet
     from repro.obs.spans import SpanRecorder
+    from repro.obs.tracing import TraceCollector
     from repro.storage.trace import PageTrace
 
 # SuccessorListStore predates the seam and conforms structurally.
@@ -64,11 +65,13 @@ class PagedEngine(StorageEngine):
         recorder: "SpanRecorder | None" = None,
         trace: "PageTrace | None" = None,
         auditor: "InvariantAuditor | None" = None,
+        collector: "TraceCollector | None" = None,
     ) -> None:
         self.graph = graph
         self.system = system
         self.metrics = metrics
         self._auditor = auditor
+        self.collector = collector
         policy = make_policy(system.page_policy, seed=system.policy_seed)
         if trace is not None:
             self.pool: BufferPool = TracedPool(
@@ -78,6 +81,7 @@ class PagedEngine(StorageEngine):
                 policy=policy,
                 recorder=recorder,
                 auditor=auditor,
+                collector=collector,
             )
         else:
             self.pool = BufferPool(
@@ -86,6 +90,7 @@ class PagedEngine(StorageEngine):
                 policy=policy,
                 recorder=recorder,
                 auditor=auditor,
+                collector=collector,
             )
         self.relation = ArcRelation(graph)
         self.inverse_relation: InverseArcRelation | None = (

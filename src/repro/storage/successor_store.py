@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 
 from repro.chaos.faults import FaultKind, active_plan
 from repro.errors import StorageError, TornWriteError
+from repro.obs.tracing import EV_BLOCK_RELOCATE, EV_BLOCK_SPLIT
 from repro.storage.buffer import BufferPool
 from repro.storage.page import (
     BLOCK_CAPACITY,
@@ -282,6 +283,10 @@ class SuccessorListStore:
             # is suppressed while already relocating, so a victim's move
             # cannot cascade into further splits.
             self.splits += 1
+            if self.pool.collector is not None:
+                self.pool.collector.emit(
+                    EV_BLOCK_SPLIT, self.kind.value, last_page, detail=f"node={node}"
+                )
             if self.policy is not ListPlacementPolicy.MOVE_SELF and not self._relocating:
                 self._relocating = True
                 try:
@@ -339,6 +344,10 @@ class SuccessorListStore:
         self._lists_on_page[page].discard(victim)
         if moved_entries:
             self.relocations += 1
+            if self.pool.collector is not None:
+                self.pool.collector.emit(
+                    EV_BLOCK_RELOCATE, self.kind.value, page, detail=f"victim={victim}"
+                )
             self._extend(victim, victim_layout, moved_entries)
         return self._free_blocks[page] > 0
 

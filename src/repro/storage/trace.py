@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 from repro.obs.spans import SpanRecorder
+from repro.obs.tracing import TraceCollector
 from repro.storage.buffer import BufferPool, ReplacementPolicy
 from repro.storage.iostats import IoStats
 from repro.storage.page import PageId, PageKind
@@ -143,9 +144,10 @@ class TracedPool(BufferPool):
         policy: str | ReplacementPolicy = "lru",
         recorder: SpanRecorder | None = None,
         auditor: "InvariantAuditor | None" = None,
+        collector: "TraceCollector | None" = None,
     ) -> None:
         super().__init__(capacity, stats=stats, policy=policy, recorder=recorder,
-                         auditor=auditor)
+                         auditor=auditor, collector=collector)
         self.trace = trace
 
     def access(self, page: PageId, dirty: bool = False) -> bool:

@@ -126,14 +126,25 @@ class TestEmitJson:
                      "--emit-json", str(out), "--quiet"]) == 0
         assert len(load_records(out)) == 1  # explicit flag beats the env var
 
-    def test_trace_out_writes_profiles(self, tmp_path, capsys):
+    def test_trace_out_writes_chrome_trace(self, tmp_path, capsys):
+        from repro.obs.tracing import validate_chrome_trace
+
         path = tmp_path / "trace.json"
         assert main(["--algorithm", "btc", "--nodes", "80",
                      "--trace-out", str(path), "--quiet"]) == 0
-        profiles = json.loads(path.read_text())
-        assert set(profiles) == {"btc"}
-        assert profiles["btc"]["requests"] > 0
-        assert profiles["btc"]["hot_pages"]
+        payload = json.loads(path.read_text())
+        assert validate_chrome_trace(payload) == []
+        names = {e["name"] for e in payload["traceEvents"]}
+        assert "process_name" in names  # section metadata
+        assert any(name.startswith("page.") for name in names)
+
+    def test_reps_emit_one_record_per_repetition(self, tmp_path, capsys):
+        path = tmp_path / "out.jsonl"
+        assert main(["--algorithm", "btc", "--nodes", "80", "--quiet",
+                     "--reps", "3", "--emit-json", str(path)]) == 0
+        records = load_records(str(path))
+        assert len(records) == 3
+        assert len({r.total_io for r in records}) == 1
 
 
 class TestProfileCommand:

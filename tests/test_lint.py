@@ -448,6 +448,41 @@ class TestFsyncDiscipline:
         )
         assert findings == []
 
+    def test_delegating_to_a_durable_helper_is_clean(self):
+        # The batched-sink shape: the writer funnels durability through
+        # one same-module helper that owns the flush+fsync pair.
+        source = """\
+            import os
+
+            def append(fh, line):
+                fh.write(line)
+                _make_durable(fh)
+
+            def _make_durable(fh):
+                fh.flush()
+                os.fsync(fh.fileno())
+        """
+        findings = lint_source(
+            textwrap.dedent(source), [FsyncDisciplineRule()],
+            module="repro.obs.sink",
+        )
+        assert findings == []
+
+    def test_delegating_to_an_undurable_helper_is_flagged(self):
+        source = """\
+            def append(fh, line):
+                fh.write(line)
+                _make_durable(fh)
+
+            def _make_durable(fh):
+                fh.flush()
+        """
+        findings = lint_source(
+            textwrap.dedent(source), [FsyncDisciplineRule()],
+            module="repro.obs.sink",
+        )
+        assert codes(findings) == ["RPL006"]
+
 
 class TestSuppression:
     def test_inline_disable_by_code(self):
