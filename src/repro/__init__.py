@@ -26,10 +26,12 @@ Quick start::
 
 from repro.core import (
     ALGORITHM_NAMES,
+    ChainIndex,
     ClosureResult,
     Query,
     SystemConfig,
     TwoPhaseAlgorithm,
+    build_chain_index,
     make_algorithm,
 )
 from repro.errors import (
@@ -69,6 +71,7 @@ __all__ = [
     "ALGORITHM_NAMES",
     "BufferPool",
     "BufferPoolExhaustedError",
+    "ChainIndex",
     "ClosureResult",
     "ConfigurationError",
     "CyclicGraphError",
@@ -90,6 +93,7 @@ __all__ = [
     "SystemConfig",
     "TwoPhaseAlgorithm",
     "UnknownAlgorithmError",
+    "build_chain_index",
     "build_graph",
     "compare_runs",
     "condensation",

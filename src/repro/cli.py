@@ -19,6 +19,9 @@ Examples::
     # Buffer-pool profile: hit-ratio timeline, kind histogram, hot pages
     python -m repro profile --algorithm btc --family G4 --scale 4
 
+    # Chain-decomposition reachability index: build + verified spot queries
+    python -m repro chains --family G4 --scale 4 --queries 500 --engine fast
+
     # Engine event trace (Chrome trace-event JSON; open in Perfetto)
     python -m repro --algorithm btc --family G4 --scale 4 \\
         --trace-out run.trace.json
@@ -444,6 +447,87 @@ def _profile_command(args: argparse.Namespace) -> int:
     return 0
 
 
+# -- `chains` -----------------------------------------------------------------
+
+
+def _chains_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro chains",
+        description="Build the frozen chain-decomposition reachability "
+        "index over a workload, report its shape and build cost, and "
+        "answer seeded reachable(u, v) spot queries -- each verified "
+        "against a direct graph search, with the page-I/O counters "
+        "checked to stay flat while querying (the index answers from "
+        "memory in O(k)).",
+    )
+    _add_workload_args(parser)
+    _add_system_args(parser)
+    parser.add_argument("--queries", type=int, default=200, metavar="N",
+                        help="number of seeded spot queries (default 200)")
+    parser.add_argument("--no-refine", action="store_true",
+                        help="skip the chain-concatenation refinement pass")
+    parser.add_argument("--quiet", "-q", action="store_true",
+                        help="suppress the banner (keep the summary line)")
+    return parser
+
+
+def _chains_command(args: argparse.Namespace) -> int:
+    import random
+
+    from repro.core.chains import build_chain_index
+    from repro.graphs.toposort import reachable_from
+
+    try:
+        graph = _build_graph(args)
+        sources = None
+        if args.sources is not None:
+            sources = sample_sources(graph, args.sources, seed=args.seed)
+        config = _system_config(args)
+        index = build_chain_index(
+            graph, sources, config, refine=not args.no_refine
+        )
+    except Exception as exc:
+        print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 1
+
+    if not args.quiet:
+        print(f"graph: n={graph.num_nodes} arcs={graph.num_arcs}  "
+              f"sources={'all' if sources is None else len(sources)}  "
+              f"engine={config.engine or 'default'}")
+
+    build_io = index.metrics.total_io
+    vector_entries = sum(len(vector) for vector in index.vectors.values())
+
+    # Seeded spot queries, each checked against a fresh forward search.
+    # The index must not touch any storage while answering: the build
+    # metrics are frozen, so any page I/O drift is a hard failure.
+    rng = random.Random(args.seed)
+    candidates = list(sources) if sources is not None else list(graph.nodes())
+    failures = 0
+    for _ in range(max(0, args.queries)):
+        u = rng.choice(candidates)
+        v = rng.randrange(graph.num_nodes)
+        got = index.reachable(u, v)
+        expected = v != u and v in reachable_from(graph, [u])
+        if got != expected:
+            failures += 1
+            print(f"MISMATCH reachable({u}, {v}): index={got} search={expected}",
+                  file=sys.stderr)
+    if index.metrics.total_io != build_io:
+        print(f"error: page I/O moved during queries "
+              f"({build_io} -> {index.metrics.total_io})", file=sys.stderr)
+        return 1
+    if failures:
+        print(f"error: {failures} mismatched quer{'y' if failures == 1 else 'ies'}",
+              file=sys.stderr)
+        return 1
+
+    print(f"chains: k={index.k} nodes={len(index.vectors)} "
+          f"vector_entries={vector_entries} build_io={build_io} "
+          f"queries={max(0, args.queries)} verified=ok")
+    return 0
+
+
 # -- `compare` ----------------------------------------------------------------
 
 
@@ -578,6 +662,7 @@ def _obs_command(args: argparse.Namespace) -> int:
 _SUBCOMMANDS = {
     "run": (_run_parser, _run_command),
     "profile": (_profile_parser, _profile_command),
+    "chains": (_chains_parser, _chains_command),
     "compare": (_compare_parser, _compare_command),
     "obs": (_obs_parser, _obs_command),
 }

@@ -17,6 +17,9 @@ successor lists:
 * :class:`~repro.core.compute_tree.ComputeTreeAlgorithm` -- Jakobsson's
   special-node predecessor trees, in the single-relation (``"jkb"``)
   and dual-representation (``"jkb2"``) variants.
+* :class:`~repro.core.chains.ChainsAlgorithm` -- the modern
+  chain-decomposition k-vector family (``"chains"``), which also backs
+  the frozen :class:`~repro.core.chains.ChainIndex` query object.
 
 Use :func:`~repro.core.registry.make_algorithm` to obtain an algorithm
 by name, and :meth:`~repro.core.base.TwoPhaseAlgorithm.run` to execute
@@ -32,6 +35,7 @@ a query::
 from repro.core.base import TwoPhaseAlgorithm
 from repro.core.bfs import BjAlgorithm
 from repro.core.btc import BtcAlgorithm
+from repro.core.chains import ChainIndex, ChainsAlgorithm, build_chain_index
 from repro.core.compute_tree import ComputeTreeAlgorithm
 from repro.core.hybrid import HybridAlgorithm
 from repro.core.query import Query, SystemConfig
@@ -44,6 +48,8 @@ __all__ = [
     "ALGORITHM_NAMES",
     "BjAlgorithm",
     "BtcAlgorithm",
+    "ChainIndex",
+    "ChainsAlgorithm",
     "ClosureResult",
     "ComputeTreeAlgorithm",
     "HybridAlgorithm",
@@ -52,5 +58,6 @@ __all__ = [
     "SpanningTreeAlgorithm",
     "SystemConfig",
     "TwoPhaseAlgorithm",
+    "build_chain_index",
     "make_algorithm",
 ]

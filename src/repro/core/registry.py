@@ -10,7 +10,12 @@ The names follow Section 4.1 of the paper:
 ``spn``   Spanning Tree algorithm (Section 3.5)
 ``jkb``   Compute_Tree, single source-clustered relation (Section 3.6)
 ``jkb2``  Compute_Tree with the dual representation (Section 4.1)
+``chains``  chain-decomposition k-vector index (Kritikakis & Tollis)
 ========  ==========================================================
+
+``chains`` post-dates the paper -- it is the modern comparison family
+(see :mod:`repro.core.chains`), run through the same two-phase
+framework and cost model as the 1994 suite.
 
 Algorithm objects are cheap, stateless-between-runs factories; create a
 fresh one per run if in doubt.
@@ -23,6 +28,7 @@ from collections.abc import Callable
 from repro.core.base import TwoPhaseAlgorithm
 from repro.core.bfs import BjAlgorithm
 from repro.core.btc import BtcAlgorithm
+from repro.core.chains import ChainsAlgorithm
 from repro.core.compute_tree import ComputeTreeAlgorithm
 from repro.core.hybrid import HybridAlgorithm
 from repro.core.search import SearchAlgorithm
@@ -37,6 +43,7 @@ _FACTORIES: dict[str, Callable[[], TwoPhaseAlgorithm]] = {
     "spn": SpanningTreeAlgorithm,
     "jkb": lambda: ComputeTreeAlgorithm(dual_representation=False),
     "jkb2": lambda: ComputeTreeAlgorithm(dual_representation=True),
+    "chains": ChainsAlgorithm,
 }
 
 ALGORITHM_NAMES: tuple[str, ...] = tuple(_FACTORIES)

@@ -371,6 +371,52 @@ def figure14(
     }
 
 
+# ---------------------------------------------------------------------------
+# Chains figure -- the modern chain-decomposition family vs BTC/HYB.
+# ---------------------------------------------------------------------------
+
+def figure_chains(
+    profile: ScaleProfile | str = "default",
+    family: str = "G9",
+    buffer_sizes: tuple[int, ...] = (10, 20, 50),
+    ilimit: float = 0.2,
+) -> FigureData:
+    """Total I/O of the chain-decomposition family vs BTC and Hybrid.
+
+    A comparison the 1994 study could never draw: the ``chains`` family
+    (Kritikakis & Tollis) builds k-vector reachability summaries on
+    dedicated pages and emits each closure from one vector read, never
+    re-reading another node's expanded list.  Run under the same cost
+    model, the figure shows where the modern index's page bill --
+    vector construction plus suffix emission -- undercuts the paper's
+    repeated successor-list unions, and how each side responds to
+    buffer pressure.
+    """
+    if isinstance(profile, str):
+        profile = get_profile(profile)
+    spec = QuerySpec.full()
+    data = FigureData(
+        title=f"Figure C1. Chain-decomposition index vs BTC/HYB, "
+        f"full closure ({family})",
+        x_label="M",
+        xs=list(buffer_sizes),
+    )
+    names = ("btc", "hyb", "chains")
+    labels = {"btc": "BTC", "hyb": f"HYB-{ilimit:g}", "chains": "CHAINS"}
+    results = iter(run_cells(
+        [Cell(name, family, spec,
+              SystemConfig(buffer_pages=buffer_pages, ilimit=ilimit))
+         for buffer_pages in buffer_sizes for name in names],
+        profile,
+    ))
+    curves: dict[str, list[float]] = {labels[name]: [] for name in names}
+    for _buffer_pages in buffer_sizes:
+        for name in names:
+            curves[labels[name]].append(next(results).total_io)
+    data.series = curves
+    return data
+
+
 ALL_FIGURES = {
     "figure6": figure6,
     "figure7": figure7,
@@ -381,5 +427,6 @@ ALL_FIGURES = {
     "figure12": figure12,
     "figure13": figure13,
     "figure14": figure14,
+    "figure_chains": figure_chains,
 }
 """Every figure entry point, keyed by name (used by ``run_all``)."""

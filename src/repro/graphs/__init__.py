@@ -10,6 +10,8 @@
   reduction and the rectangle model (Section 5.3).
 * :mod:`repro.graphs.condensation` -- Tarjan SCCs and the condensation
   graph, the standard preprocessing for cyclic inputs (Section 1).
+* :mod:`repro.graphs.chains` -- chain decomposition (path cover), the
+  combinatorial core of the ``chains`` reachability index.
 * :mod:`repro.graphs.magic` -- the magic subgraph of a selection query.
 """
 
@@ -22,6 +24,7 @@ from repro.graphs.analysis import (
     transitive_closure_size,
     transitive_reduction_arcs,
 )
+from repro.graphs.chains import ChainDecomposition, chain_decomposition
 from repro.graphs.condensation import condensation, strongly_connected_components
 from repro.graphs.datasets import GRAPH_FAMILIES, GraphFamily, build_graph, graph_family
 from repro.graphs.digraph import Digraph
@@ -30,12 +33,14 @@ from repro.graphs.magic import magic_subgraph
 from repro.graphs.toposort import is_acyclic, reachable_from, topological_sort
 
 __all__ = [
+    "ChainDecomposition",
     "Digraph",
     "GRAPH_FAMILIES",
     "GraphFamily",
     "GraphProfile",
     "arc_locality",
     "build_graph",
+    "chain_decomposition",
     "condensation",
     "generate_dag",
     "graph_family",

@@ -56,6 +56,7 @@ class PageKind(enum.Enum):
     PREDECESSOR = "predecessor"
     OUTPUT = "output"
     DELTA = "delta"
+    CHAIN = "chain"
 
     # Members are singletons, so identity hashing is equivalent to the
     # default name hash -- and much cheaper for PageId hashing and the

@@ -1,0 +1,208 @@
+"""Property suite for the chain-decomposition reachability index.
+
+Three layers are exercised:
+
+* the pure decomposition (:mod:`repro.graphs.chains`): chains must be a
+  vertex-disjoint path cover, refinement may only lower k, and k can
+  never drop below the DAG's width (checked through the max-antichain
+  lower bound given by node levels);
+* the frozen :class:`repro.core.chains.ChainIndex`: ``reachable`` and
+  ``successors`` must agree with a plain BFS oracle on every pair, in
+  O(k) per probe without re-materialising the closure (page-I/O
+  counters stay flat during queries on the paged engine);
+* cyclic inputs: ``build_chain_index`` must route through the
+  condensation and agree both with the BFS oracle and with the
+  generalized-closure evaluator of :mod:`repro.paths.closure` run on
+  the condensation DAG.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.chains import build_chain_index
+from repro.core.query import SystemConfig
+from repro.graphs.analysis import node_levels
+from repro.graphs.chains import chain_decomposition
+from repro.graphs.condensation import condensation
+from repro.graphs.digraph import Digraph
+from repro.graphs.generator import generate_dag
+from repro.paths.closure import path_counts
+
+
+def bfs_closure(graph) -> dict[int, set[int]]:
+    """Plain BFS all-pairs reachability (node itself excluded unless
+    it lies on a cycle)."""
+    closure: dict[int, set[int]] = {}
+    for source in graph.nodes():
+        seen: set[int] = set()
+        frontier = list(graph.successors(source))
+        while frontier:
+            node = frontier.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            frontier.extend(graph.successors(node))
+        closure[source] = seen
+    return closure
+
+
+@st.composite
+def random_dag(draw, max_nodes=80):
+    n = draw(st.integers(min_value=1, max_value=max_nodes))
+    f = draw(st.integers(min_value=0, max_value=6))
+    locality = draw(st.integers(min_value=1, max_value=max(1, n)))
+    seed = draw(st.integers(min_value=0, max_value=100_000))
+    return generate_dag(n, f, locality, seed=seed)
+
+
+@st.composite
+def random_digraph(draw):
+    """A directed graph that usually contains cycles."""
+    n = draw(st.integers(min_value=1, max_value=60))
+    seed = draw(st.integers(min_value=0, max_value=100_000))
+    density = draw(st.floats(min_value=0.5, max_value=3.0))
+    rng = random.Random(seed)
+    num_arcs = int(n * density)
+    arcs = {
+        (rng.randrange(n), rng.randrange(n)) for _ in range(num_arcs)
+    }
+    return Digraph.from_arcs(n, sorted(arcs))
+
+
+class TestDecomposition:
+    @given(random_dag())
+    @settings(max_examples=60, deadline=None)
+    def test_chains_are_a_vertex_disjoint_path_cover(self, graph):
+        for refine in (False, True):
+            deco = chain_decomposition(graph, refine=refine)
+            covered = [node for chain in deco.chains for node in chain]
+            assert sorted(covered) == list(graph.nodes())
+            for chain_id, chain in enumerate(deco.chains):
+                assert chain, "empty chains must be filtered out"
+                for position, node in enumerate(chain):
+                    assert deco.chain_of[node] == chain_id
+                    assert deco.position_of[node] == position
+                for src, dst in zip(chain, chain[1:]):
+                    assert dst in graph.successors(src), (
+                        f"({src}, {dst}) is not an arc of the graph"
+                    )
+
+    @given(random_dag())
+    @settings(max_examples=60, deadline=None)
+    def test_refinement_never_increases_k(self, graph):
+        greedy = chain_decomposition(graph, refine=False)
+        refined = chain_decomposition(graph, refine=True)
+        assert refined.k <= greedy.k
+
+    @given(random_dag())
+    @settings(max_examples=60, deadline=None)
+    def test_k_respects_the_width_lower_bound(self, graph):
+        """Nodes sharing a level form an antichain, and an antichain
+        meets every chain at most once -- so k >= the largest level
+        population, with or without refinement."""
+        levels = node_levels(graph)
+        population: dict[int, int] = {}
+        for level in levels.values():
+            population[level] = population.get(level, 0) + 1
+        width_bound = max(population.values(), default=0)
+        for refine in (False, True):
+            deco = chain_decomposition(graph, refine=refine)
+            assert deco.k >= width_bound
+
+    @given(random_dag())
+    @settings(max_examples=30, deadline=None)
+    def test_decomposition_is_deterministic(self, graph):
+        first = chain_decomposition(graph)
+        second = chain_decomposition(graph)
+        assert first.chains == second.chains
+        assert first.chain_of == second.chain_of
+        assert first.position_of == second.position_of
+
+
+class TestChainIndexOnDags:
+    @given(random_dag(max_nodes=200))
+    @settings(max_examples=25, deadline=None)
+    def test_all_pairs_agree_with_bfs(self, graph):
+        closure = bfs_closure(graph)
+        index = build_chain_index(graph)
+        assert not index.condensed
+        for src in graph.nodes():
+            assert index.successors(src) == sorted(closure[src])
+            for dst in graph.nodes():
+                assert index.reachable(src, dst) == (dst in closure[src]), (
+                    src,
+                    dst,
+                )
+
+    @given(random_dag())
+    @settings(max_examples=20, deadline=None)
+    def test_unrefined_index_answers_identically(self, graph):
+        closure = bfs_closure(graph)
+        index = build_chain_index(graph, refine=False)
+        for src in graph.nodes():
+            assert index.successors(src) == sorted(closure[src])
+
+    def test_queries_keep_page_io_flat_on_the_paged_engine(self):
+        """The acceptance criterion of the index: once built, a probe
+        is a k-entry vector comparison -- the storage substrate is
+        never consulted again, so the page-I/O bill does not move."""
+        graph = generate_dag(150, 4, 30, seed=11)
+        index = build_chain_index(
+            graph, system=SystemConfig(buffer_pages=10, engine="paged")
+        )
+        build_io = index.metrics.total_io
+        assert build_io > 0
+        for src in graph.nodes():
+            index.successors(src)
+            for dst in range(0, graph.num_nodes, 7):
+                index.reachable(src, dst)
+        assert index.metrics.total_io == build_io
+
+    def test_fast_engine_builds_with_zero_page_io(self):
+        graph = generate_dag(150, 4, 30, seed=11)
+        index = build_chain_index(
+            graph, system=SystemConfig(buffer_pages=10, engine="fast")
+        )
+        assert index.metrics.total_io == 0
+        paged = build_chain_index(
+            graph, system=SystemConfig(buffer_pages=10, engine="paged")
+        )
+        assert paged.vectors == index.vectors
+
+
+class TestChainIndexOnCyclicGraphs:
+    @given(random_digraph())
+    @settings(max_examples=40, deadline=None)
+    def test_cyclic_inputs_agree_with_bfs(self, graph):
+        closure = bfs_closure(graph)
+        index = build_chain_index(graph)
+        for src in graph.nodes():
+            assert index.successors(src) == sorted(closure[src])
+            for dst in graph.nodes():
+                assert index.reachable(src, dst) == (dst in closure[src]), (
+                    src,
+                    dst,
+                )
+
+    @given(random_digraph())
+    @settings(max_examples=25, deadline=None)
+    def test_condensed_index_agrees_with_generalized_closure(self, graph):
+        """Cross-check against :mod:`repro.paths.closure`: over the
+        condensation DAG a pair of distinct components is reachable iff
+        the path-count semiring assigns it a positive value."""
+        cond = condensation(graph)
+        counts = path_counts(cond.dag)
+        index = build_chain_index(graph)
+        for src in graph.nodes():
+            a = cond.component_of[src]
+            for dst in graph.nodes():
+                b = cond.component_of[dst]
+                if a != b:
+                    expected = counts.value(a, b) > 0
+                elif len(cond.members[a]) > 1:
+                    expected = True
+                else:
+                    expected = src in cond.self_loops
+                assert index.reachable(src, dst) == expected, (src, dst)

@@ -1,7 +1,7 @@
 """Differential correctness battery: every implementation, one answer.
 
 Over a seeded grid of random DAG families, every framework algorithm
-(BTC, HYB, BJ, SRCH, SPN, JKB, JKB2) and every in-memory baseline
+(BTC, HYB, BJ, SRCH, SPN, JKB, JKB2, CHAINS) and every in-memory baseline
 (warshall, warren, seminaive, smart, schmitz) must produce exactly the
 same closure tuple set, for both complete (CTC) and partial (PTC)
 transitive closure queries.  The networkx reachability oracle anchors
@@ -21,6 +21,7 @@ import networkx as nx
 import pytest
 
 from repro.baselines import BASELINE_NAMES, make_baseline
+from repro.core.chains import build_chain_index
 from repro.core.query import Query, SystemConfig
 from repro.core.registry import ALGORITHM_NAMES, make_algorithm
 from repro.graphs.generator import generate_dag
@@ -101,6 +102,32 @@ def test_partial_closure_all_implementations_agree(
             f"(n={n}, F={f}, l={loc}, seed={seed}, M={buffer_pages}, "
             f"engine={engine})"
         )
+
+
+@pytest.mark.parametrize("engine", ENGINE_NAMES)
+@pytest.mark.parametrize("n,f,loc,seed,buffer_pages", DAG_GRID)
+def test_chain_index_matches_oracle(n, f, loc, seed, buffer_pages, engine):
+    """The frozen ChainIndex answers the same reachability relation.
+
+    ``build_chain_index`` goes through a different query path than the
+    materialised ``ClosureResult`` -- ``reachable`` probes k-vectors and
+    ``successors`` expands chain suffixes on demand -- so it gets its
+    own leg of the differential battery rather than riding on the
+    ``chains`` row above.
+    """
+    graph = generate_dag(n, f, loc, seed=seed)
+    closure = oracle_closure(graph)
+    index = build_chain_index(
+        graph, system=SystemConfig(buffer_pages=buffer_pages, engine=engine)
+    )
+    for node in range(n):
+        assert index.successors(node) == sorted(closure[node]), (
+            f"ChainIndex.successors({node}) diverges from the oracle "
+            f"(n={n}, F={f}, l={loc}, seed={seed}, M={buffer_pages}, "
+            f"engine={engine})"
+        )
+        for other in range(n):
+            assert index.reachable(node, other) == (other in closure[node])
 
 
 @pytest.mark.parametrize("engine", ENGINE_NAMES)

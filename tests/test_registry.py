@@ -8,7 +8,16 @@ from repro.errors import UnknownAlgorithmError
 
 class TestRegistry:
     def test_paper_suite_is_registered(self):
-        assert ALGORITHM_NAMES == ("btc", "hyb", "bj", "srch", "spn", "jkb", "jkb2")
+        assert ALGORITHM_NAMES == (
+            "btc",
+            "hyb",
+            "bj",
+            "srch",
+            "spn",
+            "jkb",
+            "jkb2",
+            "chains",
+        )
 
     def test_names_resolve_to_matching_algorithms(self):
         for name in ALGORITHM_NAMES:
