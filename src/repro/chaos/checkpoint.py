@@ -31,7 +31,7 @@ import json
 import os
 import sys
 from pathlib import Path
-from typing import TYPE_CHECKING, Any
+from typing import IO, TYPE_CHECKING, Any
 
 from repro.obs.record import RunRecord
 
@@ -48,11 +48,24 @@ class SweepJournal:
     Opening a journal loads whatever a previous (possibly killed)
     sweep recorded; completed cells are then served from memory via
     :meth:`get` and new completions appended durably via :meth:`record`.
+
+    By default every appended cell is flushed *and fsynced* before
+    :meth:`record` returns.  ``flush_every=N`` opts into batched
+    durability for very fine-grained sweeps: the flush+fsync pair runs
+    once per ``N`` cells (and always on :meth:`close`), widening the
+    crash window to at most ``N - 1`` acknowledged cells -- whole-line
+    atomicity is unchanged, so a torn final record is still the only
+    possible damage and :meth:`_load` still recovers every earlier one.
     """
 
-    def __init__(self, path: str | Path) -> None:
+    def __init__(self, path: str | Path, flush_every: int = 1) -> None:
+        if flush_every < 1:
+            raise ValueError(f"flush_every must be >= 1, got {flush_every}")
         self.path = Path(path)
+        self.flush_every = flush_every
         self._cells: dict[str, tuple["AveragedMetrics", list[RunRecord]]] = {}
+        self._handle: IO[str] | None = None
+        self._pending = 0
         self.loaded = 0
         self.appended = 0
         if self.path.exists():
@@ -88,14 +101,44 @@ class SweepJournal:
             separators=(",", ":"),
             sort_keys=True,
         )
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        # Whole line + flush + fsync: a crash can truncate the final
-        # line but never interleave or lose an acknowledged cell.
-        with self.path.open("a") as handle:
-            handle.write(line + "\n")
-            handle.flush()
-            os.fsync(handle.fileno())
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = self.path.open("a")
+        # Whole line, then flush + fsync (immediately by default, per
+        # batch under flush_every): a crash can truncate the final line
+        # but never interleave or lose a *durable* cell.
+        self._handle.write(line + "\n")
+        self._pending += 1
+        if self._pending >= self.flush_every:
+            self._make_durable()
         self.appended += 1
+
+    def _make_durable(self) -> None:
+        """Flush and fsync the journal handle: the one durability point.
+
+        Every buffered-write path ends here -- per cell by default, per
+        batch under ``flush_every``, and unconditionally on
+        :meth:`close` -- the same discipline RPL006 checks on the JSONL
+        sink.
+        """
+        if self._handle is not None:
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+        self._pending = 0
+
+    def close(self) -> None:
+        """Make any batched tail durable and release the handle."""
+        if self._handle is not None:
+            self._make_durable()
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "SweepJournal":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        self.close()
+        return False
 
     # -- loading ---------------------------------------------------------------
 

@@ -13,29 +13,51 @@ one ``None`` check on a buffer *miss* only; the hit path is untouched.
 Fault kinds
 -----------
 
-=============  =============================  ================================
-kind           site                           effect
-=============  =============================  ================================
-corrupt-read   buffer-pool physical read      raises ``CorruptPageReadError``
-                                              (a detected checksum failure)
-evict-storm    buffer-pool physical read      evicts every unpinned resident
-                                              page (dirty ones charge writes)
-slow-io        buffer-pool physical read      sleeps ``ms`` milliseconds
-torn-write     successor-store block write    raises ``TornWriteError``
-crash-unit     experiment-unit start          raises ``InjectedCrashError``
-=============  =============================  ================================
+=====================  =============================  ==========================
+kind                   site                           effect
+=====================  =============================  ==========================
+corrupt-read           buffer-pool physical read      raises
+                                                      ``CorruptPageReadError``
+                                                      (a detected checksum
+                                                      failure)
+evict-storm            buffer-pool physical read      evicts every unpinned
+                                                      resident page (dirty ones
+                                                      charge writes)
+slow-io                buffer-pool physical read      sleeps ``ms`` milliseconds
+torn-write             successor-store block write    raises ``TornWriteError``
+crash-unit             experiment-unit start          raises
+                                                      ``InjectedCrashError``
+slow-handler           serve request handler          handler awaits ``ms``
+                                                      milliseconds (deadline
+                                                      pressure)
+cancelled-request      serve request handler          cancels the in-flight
+                                                      request mid-handler
+poisoned-cache-entry   serve result-cache insert      tampers the cached value
+                                                      (checksum left stale, so
+                                                      reads must detect it)
+index-rebuild-crash    serve index (re)build          raises
+                                                      ``InjectedRebuildError``
+=====================  =============================  ==========================
+
+The first five are *storage/experiment* sites wired through the engine
+seam; the last four are *serve* sites in :mod:`repro.serve`, above the
+seam -- they work on every engine (see :data:`STORAGE_FAULT_KINDS` /
+:data:`SERVE_FAULT_KINDS`).
 
 Spec grammar (see ``docs/ROBUSTNESS.md``)::
 
     spec    ::= clause (";" clause)*
     clause  ::= "seed=" INT | fault ("," param)*
     fault   ::= "corrupt-read" | "evict-storm" | "slow-io"
-              | "torn-write"   | "crash-unit"
+              | "torn-write"   | "crash-unit"  | "slow-handler"
+              | "cancelled-request" | "poisoned-cache-entry"
+              | "index-rebuild-crash"
     param   ::= "p=" FLOAT      probability per opportunity (seeded RNG)
               | "after=" INT    fire on the Nth opportunity (1-based)
               | "times=" INT    max firings (default 1 with after=,
                                 unlimited with p=)
-              | "ms=" FLOAT     slow-io latency per firing (default 1.0)
+              | "ms=" FLOAT     slow-io / slow-handler latency per
+                                firing (default 1.0)
               | "k=" INT        evict-storm victims (default: all unpinned)
 
 Examples::
@@ -57,7 +79,7 @@ import enum
 import os
 import random
 import zlib
-from collections.abc import Iterator
+from collections.abc import Iterable, Iterator
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 
@@ -75,6 +97,26 @@ class FaultKind(enum.Enum):
     SLOW_IO = "slow-io"
     TORN_WRITE = "torn-write"
     CRASH_UNIT = "crash-unit"
+    SLOW_HANDLER = "slow-handler"
+    CANCEL_REQUEST = "cancelled-request"
+    POISON_CACHE = "poisoned-cache-entry"
+    REBUILD_CRASH = "index-rebuild-crash"
+
+
+SERVE_FAULT_KINDS = frozenset(
+    {
+        FaultKind.SLOW_HANDLER,
+        FaultKind.CANCEL_REQUEST,
+        FaultKind.POISON_CACHE,
+        FaultKind.REBUILD_CRASH,
+    }
+)
+"""Fault sites in :mod:`repro.serve`, above the storage seam: live on
+every engine, including ``fast``."""
+
+STORAGE_FAULT_KINDS = frozenset(FaultKind) - SERVE_FAULT_KINDS
+"""Fault sites wired through the paged substrate and the experiment
+unit boundary; the fast engine refuses plans that arm these."""
 
 
 _KINDS = {kind.value: kind for kind in FaultKind}
@@ -154,7 +196,7 @@ class FaultRule:
             return None
         self.fired += 1
         params: dict[str, float] = {}
-        if self.kind is FaultKind.SLOW_IO:
+        if self.kind in (FaultKind.SLOW_IO, FaultKind.SLOW_HANDLER):
             params["ms"] = self.ms
         if self.kind is FaultKind.EVICT_STORM and self.k is not None:
             params["k"] = self.k
@@ -239,6 +281,15 @@ class FaultPlan:
         """Whether the plan has a rule for ``kind``."""
         return kind in self._rules
 
+    def arms_any(self, kinds: Iterable[FaultKind]) -> bool:
+        """Whether the plan arms at least one of ``kinds``.
+
+        Engines use this with :data:`STORAGE_FAULT_KINDS` to refuse
+        only the plans whose sites they actually cannot honour: a plan
+        arming purely serve-site faults runs fine on the fast engine.
+        """
+        return any(kind in self._rules for kind in kinds)
+
     def drain_events(self) -> list[FaultEvent]:
         """Return and clear the fired-event log (per-run attribution)."""
         events, self.events = self.events, []
@@ -291,6 +342,11 @@ def arm_from_env() -> FaultPlan | None:
     spec = os.environ.get(ENV_CHAOS, "").strip()
     if not spec:
         return None
-    plan = FaultPlan.parse(spec)
+    try:
+        plan = FaultPlan.parse(spec)
+    except ConfigurationError as exc:
+        # Name the variable *and* the offending value: the spec usually
+        # comes from a shell export far away from this stack trace.
+        raise ConfigurationError(f"{ENV_CHAOS}={spec!r}: {exc}") from None
     set_fault_plan(plan)
     return plan

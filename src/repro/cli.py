@@ -22,6 +22,10 @@ Examples::
     # Chain-decomposition reachability index: build + verified spot queries
     python -m repro chains --family G4 --scale 4 --queries 500 --engine fast
 
+    # Serve reachability queries over HTTP with graceful degradation
+    python -m repro serve --family G4 --scale 4 --engine fast --port 8642
+    python -m repro serve --family G4 --scale 4 --self-check 200
+
     # Engine event trace (Chrome trace-event JSON; open in Perfetto)
     python -m repro --algorithm btc --family G4 --scale 4 \\
         --trace-out run.trace.json
@@ -464,6 +468,9 @@ def _chains_parser() -> argparse.ArgumentParser:
     _add_system_args(parser)
     parser.add_argument("--queries", type=int, default=200, metavar="N",
                         help="number of seeded spot queries (default 200)")
+    parser.add_argument("--probe", action="append", default=None, metavar="U:V",
+                        help="answer one explicit reachable(U, V) probe "
+                        "(repeatable; verified against a direct search)")
     parser.add_argument("--no-refine", action="store_true",
                         help="skip the chain-concatenation refinement pass")
     parser.add_argument("--quiet", "-q", action="store_true",
@@ -475,7 +482,9 @@ def _chains_command(args: argparse.Namespace) -> int:
     import random
 
     from repro.core.chains import build_chain_index
+    from repro.errors import InvalidNodeError
     from repro.graphs.toposort import reachable_from
+    from repro.serve.validate import parse_probe
 
     try:
         graph = _build_graph(args)
@@ -483,6 +492,22 @@ def _chains_command(args: argparse.Namespace) -> int:
         if args.sources is not None:
             sources = sample_sources(graph, args.sources, seed=args.seed)
         config = _system_config(args)
+    except Exception as exc:
+        print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 1
+
+    # Validate the user's probe pairs *before* paying for the index
+    # build: a malformed or out-of-range node id is a clean exit 2 with
+    # the offending value and the graph's range, never a traceback.
+    probes: list[tuple[int, int]] = []
+    try:
+        for spec in args.probe or []:
+            probes.append(parse_probe(spec, graph.num_nodes))
+    except InvalidNodeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    try:
         index = build_chain_index(
             graph, sources, config, refine=not args.no_refine
         )
@@ -501,9 +526,21 @@ def _chains_command(args: argparse.Namespace) -> int:
     # Seeded spot queries, each checked against a fresh forward search.
     # The index must not touch any storage while answering: the build
     # metrics are frozen, so any page I/O drift is a hard failure.
+    failures = 0
+    for u, v in probes:
+        try:
+            got = index.reachable(u, v)
+        except InvalidNodeError as exc:
+            print(f"error: probe {u}:{v}: {exc}", file=sys.stderr)
+            return 2
+        expected = v != u and v in reachable_from(graph, [u])
+        verdict = "ok" if got == expected else "MISMATCH"
+        print(f"probe reachable({u}, {v}) = {got}  verified={verdict}")
+        if got != expected:
+            failures += 1
+
     rng = random.Random(args.seed)
     candidates = list(sources) if sources is not None else list(graph.nodes())
-    failures = 0
     for _ in range(max(0, args.queries)):
         u = rng.choice(candidates)
         v = rng.randrange(graph.num_nodes)
@@ -525,6 +562,243 @@ def _chains_command(args: argparse.Namespace) -> int:
     print(f"chains: k={index.k} nodes={len(index.vectors)} "
           f"vector_entries={vector_entries} build_io={build_io} "
           f"queries={max(0, args.queries)} verified=ok")
+    return 0
+
+
+# -- `serve` ------------------------------------------------------------------
+
+
+def _serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description="Serve reachable(u, v) / successors(u) / batch queries "
+        "over HTTP (TCP or a UNIX-domain socket) from a frozen chain "
+        "index built once at startup, with per-request deadlines, bounded "
+        "admission with load shedding, and breaker-guarded degradation to "
+        "the last-good index (see docs/ROBUSTNESS.md, 'Serving and "
+        "degradation modes').",
+    )
+    _add_workload_args(parser)
+    _add_system_args(parser)
+    binding = parser.add_argument_group("binding")
+    binding.add_argument("--host", default="127.0.0.1",
+                         help="TCP bind address (default 127.0.0.1)")
+    binding.add_argument("--port", type=int, default=8642,
+                         help="TCP port; 0 picks an ephemeral port "
+                         "(default 8642)")
+    binding.add_argument("--uds", default=None, metavar="PATH",
+                         help="serve on a UNIX-domain socket at PATH "
+                         "instead of TCP")
+    service = parser.add_argument_group("service")
+    service.add_argument("--deadline-ms", type=float, default=1000.0,
+                         help="default per-request deadline (default 1000)")
+    service.add_argument("--max-concurrency", type=int, default=8,
+                         help="requests executing concurrently (default 8)")
+    service.add_argument("--max-queue", type=int, default=64,
+                         help="admission queue depth before shedding "
+                         "(default 64)")
+    service.add_argument("--max-wait-ms", type=float, default=250.0,
+                         help="estimated-wait budget before shedding "
+                         "(default 250)")
+    service.add_argument("--cache-size", type=int, default=4096,
+                         help="result-cache capacity, 0 disables "
+                         "(default 4096)")
+    service.add_argument("--breaker-threshold", type=int, default=3,
+                         help="consecutive build failures that trip the "
+                         "circuit breaker (default 3)")
+    service.add_argument("--breaker-reset", type=float, default=2.0,
+                         help="breaker cool-down seconds before a rebuild "
+                         "probe (default 2)")
+    service.add_argument("--build-retries", type=int, default=2,
+                         help="retried attempts per index (re)build "
+                         "(default 2)")
+    service.add_argument("--no-refine", action="store_true",
+                         help="skip the chain-concatenation refinement pass")
+    checks = parser.add_argument_group("checks")
+    checks.add_argument("--self-check", type=int, default=None, metavar="N",
+                        help="start on an ephemeral socket, answer N seeded "
+                        "queries through the HTTP client verified against a "
+                        "direct graph search, check the health endpoints, "
+                        "and exit (CI smoke mode)")
+    checks.add_argument("--probe", action="append", default=None, metavar="U:V",
+                        help="answer one explicit reachable(U, V) probe "
+                        "directly (repeatable, verified, no server)")
+    checks.add_argument("--emit-json", metavar="PATH", default=None,
+                        help="append the serve-telemetry RunRecord JSON "
+                        "line to PATH on exit (probe/self-check modes)")
+    robustness = parser.add_argument_group("robustness")
+    robustness.add_argument("--chaos", metavar="SPEC", default=None,
+                            help="arm the fault-injection plane, e.g. "
+                            "'slow-handler,p=0.1,ms=50' "
+                            "(see docs/ROBUSTNESS.md)")
+    parser.add_argument("--quiet", "-q", action="store_true",
+                        help="suppress the banner")
+    return parser
+
+
+def _serve_command(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.errors import InvalidNodeError
+    from repro.serve.service import ReachabilityService, ServeConfig
+    from repro.serve.validate import parse_probe
+
+    try:
+        if args.chaos:
+            set_fault_plan(FaultPlan.parse(args.chaos))
+            os.environ[ENV_CHAOS] = args.chaos
+        graph = _build_graph(args)
+        sources = None
+        if args.sources is not None:
+            sources = sample_sources(graph, args.sources, seed=args.seed)
+        config = _system_config(args)
+        serve_config = ServeConfig(
+            deadline_ms=args.deadline_ms,
+            max_concurrency=args.max_concurrency,
+            max_queue=args.max_queue,
+            max_wait_ms=args.max_wait_ms,
+            cache_size=args.cache_size,
+            breaker_threshold=args.breaker_threshold,
+            breaker_reset_s=args.breaker_reset,
+            build_retries=args.build_retries,
+            refine=not args.no_refine,
+        )
+    except Exception as exc:
+        print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 1
+
+    probes: list[tuple[int, int]] = []
+    try:
+        for spec in args.probe or []:
+            probes.append(parse_probe(spec, graph.num_nodes))
+    except InvalidNodeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    service = ReachabilityService(graph, sources, config, serve_config)
+    try:
+        return asyncio.run(_serve_main(args, graph, service, probes))
+    except KeyboardInterrupt:
+        return 0
+
+
+def _emit_serve_record(args: argparse.Namespace, service: object) -> None:
+    if args.emit_json is None:
+        return
+    sink = JsonlSink(args.emit_json, enabled=True)
+    sink.emit(service.to_run_record(_workload_dict(args)))  # type: ignore[attr-defined]
+    sink.close()
+
+
+async def _serve_main(args: argparse.Namespace, graph: Digraph,
+                      service: "ReachabilityService",
+                      probes: list[tuple[int, int]]) -> int:
+    import asyncio
+
+    from repro.graphs.toposort import reachable_from
+    from repro.serve.http import ServeServer
+
+    built = await service.build()
+    if not built:
+        print(f"warning: initial index build failed "
+              f"({service.last_build_error}); starting unready",
+              file=sys.stderr)
+
+    # Probe mode: answer explicit pairs directly (no server), verified.
+    if probes and args.self_check is None:
+        if service.index is None:
+            print("error: no index available to answer probes", file=sys.stderr)
+            return 1
+        failures = 0
+        for u, v in probes:
+            answer = await service.reachable(u, v)
+            expected = v != u and v in reachable_from(graph, [u])
+            verdict = "ok" if answer["reachable"] == expected else "MISMATCH"
+            print(f"probe reachable({u}, {v}) = {answer['reachable']}  "
+                  f"verified={verdict}")
+            if answer["reachable"] != expected:
+                failures += 1
+        _emit_serve_record(args, service)
+        return 1 if failures else 0
+
+    if args.self_check is not None:
+        return await _serve_self_check(args, graph, service)
+
+    server = ServeServer(service, host=args.host, port=args.port, uds=args.uds)
+    await server.start()
+    if not args.quiet:
+        print(f"serving n={graph.num_nodes} arcs={graph.num_arcs} "
+              f"state={service.state} on {server.endpoint}")
+    try:
+        await asyncio.Event().wait()
+    finally:
+        await server.close()
+    return 0
+
+
+async def _serve_self_check(args: argparse.Namespace, graph: Digraph,
+                            service: "ReachabilityService") -> int:
+    """CI smoke mode: seeded, oracle-verified queries over a live socket."""
+    import random
+    import tempfile
+
+    from repro.graphs.toposort import reachable_from
+    from repro.serve.http import ServeClient, ServeServer
+
+    ephemeral_uds = None
+    if args.uds is not None:
+        server = ServeServer(service, uds=args.uds)
+    elif args.port == 8642:  # default: self-check prefers a throwaway UDS
+        ephemeral_uds = tempfile.mktemp(prefix="repro-serve-", suffix=".sock")
+        args.uds = ephemeral_uds
+        server = ServeServer(service, uds=args.uds)
+    else:
+        server = ServeServer(service, host=args.host, port=args.port)
+    await server.start()
+    client = (ServeClient(uds=args.uds) if args.uds is not None
+              else ServeClient(host=args.host, port=server.port))
+    rng = random.Random(args.seed)
+    candidates = (list(service.sources) if service.sources is not None
+                  else list(graph.nodes()))
+    wrong = 0
+    non_ok = 0
+    answered = 0
+    try:
+        for _ in range(max(0, args.self_check)):
+            u = rng.choice(candidates)
+            v = rng.randrange(graph.num_nodes)
+            status, payload = await client.reachable(u, v)
+            if status != 200:
+                non_ok += 1
+                continue
+            answered += 1
+            expected = v != u and v in reachable_from(graph, [u])
+            if payload["reachable"] != expected:
+                wrong += 1
+                print(f"WRONG reachable({u}, {v}): served="
+                      f"{payload['reachable']} search={expected}",
+                      file=sys.stderr)
+        health_status, health = await client.get("/healthz")
+        ready_status, ready = await client.get("/readyz")
+        expect_ready = 200 if service.state == "ready" else 503
+        health_ok = health_status == 200 and health.get("status") == "ok"
+        ready_ok = (ready_status == expect_ready
+                    and ready.get("state") == service.state)
+    finally:
+        await client.close()
+        await server.close()
+        if ephemeral_uds is not None and os.path.exists(ephemeral_uds):
+            os.unlink(ephemeral_uds)
+    print(f"self-check: {answered}/{max(0, args.self_check)} answered "
+          f"({non_ok} non-200), wrong={wrong}, state={service.state}, "
+          f"healthz={'ok' if health_ok else 'FAIL'}, "
+          f"readyz={'ok' if ready_ok else 'FAIL'} on {server.endpoint}")
+    _emit_serve_record(args, service)
+    if wrong or not health_ok or not ready_ok:
+        return 1
+    # Without chaos armed, every query must have been answered outright.
+    if non_ok and not args.chaos and not os.environ.get(ENV_CHAOS):
+        return 1
     return 0
 
 
@@ -663,6 +937,7 @@ _SUBCOMMANDS = {
     "run": (_run_parser, _run_command),
     "profile": (_profile_parser, _profile_command),
     "chains": (_chains_parser, _chains_command),
+    "serve": (_serve_parser, _serve_command),
     "compare": (_compare_parser, _compare_command),
     "obs": (_obs_parser, _obs_command),
 }

@@ -111,3 +111,12 @@ class TornWriteError(InjectedFaultError, StorageError):
 
 class InjectedCrashError(InjectedFaultError):
     """An injected crash at an experiment-unit boundary."""
+
+
+class InjectedRebuildError(InjectedFaultError):
+    """An injected crash inside the serve layer's index (re)build.
+
+    Drives the serve circuit breaker in chaos tests: repeated rebuild
+    crashes must trip the breaker and route queries to the last-good
+    frozen index instead of surfacing to clients.
+    """

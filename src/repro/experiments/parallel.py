@@ -62,7 +62,6 @@ from __future__ import annotations
 
 import dataclasses
 import math
-import random
 import signal
 import threading
 import time
@@ -87,12 +86,14 @@ from repro.graphs.generator import generate_dag
 from repro.obs.record import RunRecord, system_config_dict
 from repro.obs.sink import RunSink, get_global_sink, reset_worker_sinks
 from repro.obs.tracing import TraceCollector, TraceEventRecord
+from repro.serve.retry import DEFAULT_BACKOFF_BASE, BackoffPolicy
 
 DEFAULT_RETRIES = 1
 """How many times a failed or timed-out unit is resubmitted."""
 
-DEFAULT_BACKOFF = 0.05
-"""Base delay (seconds) of the jittered exponential retry backoff."""
+DEFAULT_BACKOFF = DEFAULT_BACKOFF_BASE
+"""Base delay (seconds) of the jittered exponential retry backoff
+(the shared :mod:`repro.serve.retry` default)."""
 
 
 # ---------------------------------------------------------------------------
@@ -422,14 +423,13 @@ class ExperimentEngine:
         self._pool: ProcessPoolExecutor | None = None
         self._cell_memo: dict[str, tuple[AveragedMetrics, list[RunRecord]]] = {}
         # Fixed-seed jitter: retry delays are deterministic for a given
-        # submission order, like everything else about the engine.
-        self._backoff_rng = random.Random(0x5EED)
+        # submission order, like everything else about the engine.  The
+        # policy is shared with the serve layer's rebuild retries.
+        self._backoff_policy = BackoffPolicy(base=backoff)
 
     def _retry_delay(self, attempt: int) -> float:
         """Jittered exponential backoff before retry ``attempt`` (>= 2)."""
-        if self.backoff <= 0:
-            return 0.0
-        return self.backoff * (2 ** (attempt - 2)) * (0.5 + self._backoff_rng.random())
+        return self._backoff_policy.delay(attempt)
 
     # -- lifecycle -----------------------------------------------------------
 

@@ -1,0 +1,112 @@
+"""Circuit breaker guarding the serve layer's index (re)builds.
+
+Classic three-state breaker (Nygard, *Release It!*), sized for one
+protected operation: rebuilding the frozen
+:class:`~repro.core.chains.ChainIndex` through the storage engine.
+
+* ``closed`` -- healthy: every rebuild attempt is allowed; consecutive
+  failures are counted.
+* ``open`` -- tripped after ``threshold`` consecutive failures: rebuild
+  attempts are refused outright (no storage traffic at all) while
+  queries keep flowing to the last-good index, until ``reset_after``
+  seconds pass.
+* ``half-open`` -- the cool-down elapsed: exactly one probe attempt is
+  let through.  Success closes the breaker; failure re-opens it and
+  restarts the cool-down.
+
+The clock is injectable so chaos tests drive open -> half-open -> closed
+transitions deterministically, without sleeping.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from collections.abc import Callable
+
+
+class BreakerState(enum.Enum):
+    """The observable breaker states (``/readyz`` reports these)."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with a monotonic-clock cool-down."""
+
+    def __init__(
+        self,
+        threshold: int = 3,
+        reset_after: float = 5.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if threshold < 1:
+            raise ValueError(f"threshold must be >= 1, got {threshold}")
+        if reset_after < 0:
+            raise ValueError(f"reset_after must be >= 0, got {reset_after}")
+        self.threshold = threshold
+        self.reset_after = reset_after
+        self._clock = clock
+        self._state = BreakerState.CLOSED
+        self._failures = 0
+        self._opened_at = 0.0
+        self.trips = 0
+        """How many times the breaker has tripped closed -> open."""
+
+    @property
+    def state(self) -> BreakerState:
+        """Current state, accounting for an elapsed cool-down."""
+        if (
+            self._state is BreakerState.OPEN
+            and self._clock() - self._opened_at >= self.reset_after
+        ):
+            self._state = BreakerState.HALF_OPEN
+        return self._state
+
+    @property
+    def failures(self) -> int:
+        """Consecutive failures since the last success."""
+        return self._failures
+
+    def allow(self) -> bool:
+        """Whether a protected attempt may proceed right now.
+
+        In ``half-open`` the single probe is granted here (and the
+        state only leaves ``half-open`` through :meth:`record_success`
+        / :meth:`record_failure`, so concurrent callers racing this
+        method still converge -- the serve layer additionally
+        serialises rebuilds under a lock).
+        """
+        return self.state is not BreakerState.OPEN
+
+    def record_success(self) -> None:
+        """A protected attempt succeeded: close and reset the count."""
+        self._state = BreakerState.CLOSED
+        self._failures = 0
+
+    def record_failure(self) -> None:
+        """A protected attempt failed: count it; trip at the threshold.
+
+        A failed ``half-open`` probe re-opens immediately and restarts
+        the cool-down.
+        """
+        self._failures += 1
+        tripped = (
+            self._state is BreakerState.HALF_OPEN
+            or self._failures >= self.threshold
+        )
+        if tripped and self._state is not BreakerState.OPEN:
+            self._state = BreakerState.OPEN
+            self._opened_at = self._clock()
+            self.trips += 1
+
+    def snapshot(self) -> dict[str, object]:
+        """JSON-safe state for health endpoints and telemetry."""
+        return {
+            "state": self.state.value,
+            "failures": self._failures,
+            "threshold": self.threshold,
+            "trips": self.trips,
+        }

@@ -1,0 +1,157 @@
+"""Checksummed LRU result cache with single-flight coalescing.
+
+The serve layer memoises query results (``reachable``/``successors``)
+in a bounded LRU.  Two robustness properties distinguish this from a
+plain ``functools.lru_cache``:
+
+* **Entries are checksummed.**  Every stored value carries a CRC of
+  its canonical JSON form, verified on *every* hit.  A corrupted entry
+  -- the chaos plane's ``poisoned-cache-entry`` fault tampers values
+  in place, exactly like a stray write or a bit flip would -- fails
+  verification, is evicted, and the query recomputes from the index.
+  A poisoned cache can therefore cost latency, never correctness.
+* **In-flight queries coalesce.**  Concurrent identical queries share
+  one computation: the first caller installs an ``asyncio`` future,
+  the rest await it (single-flight).  Failures propagate to every
+  waiter and are not cached.
+
+The cache never stores exceptions and never returns a value that did
+not just pass its checksum.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import zlib
+from collections import OrderedDict
+from collections.abc import Awaitable, Callable, Hashable
+from typing import Any
+
+from repro.chaos.faults import FaultKind, active_plan
+
+
+def _checksum(value: Any) -> int:
+    """CRC32 of the value's canonical JSON form (JSON-safe values only)."""
+    return zlib.crc32(
+        json.dumps(value, separators=(",", ":"), sort_keys=True).encode()
+    )
+
+
+def _tamper(value: Any) -> Any:
+    """A plausibly-corrupted variant of ``value`` (never equal to it)."""
+    if isinstance(value, bool):
+        return not value
+    if isinstance(value, list):
+        return [*value, -1] if value else [-1]
+    if isinstance(value, int):
+        return value ^ 1
+    return f"{value}\x00"
+
+
+class ResultCache:
+    """Bounded LRU of JSON-safe query results, verified on read."""
+
+    def __init__(self, size: int = 1024) -> None:
+        if size < 0:
+            raise ValueError(f"size must be >= 0, got {size}")
+        self.size = size
+        self._entries: OrderedDict[Hashable, tuple[Any, int]] = OrderedDict()
+        self._inflight: dict[Hashable, asyncio.Future[Any]] = {}
+        self.hits = 0
+        self.misses = 0
+        self.coalesced = 0
+        self.poison_detected = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: Hashable) -> tuple[bool, Any]:
+        """``(True, value)`` on a verified hit, ``(False, None)`` otherwise.
+
+        A checksum mismatch counts as detected poison: the entry is
+        dropped and the lookup reports a miss, so the caller recomputes
+        from the authoritative index.
+        """
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return False, None
+        value, stored_sum = entry
+        if _checksum(value) != stored_sum:
+            del self._entries[key]
+            self.poison_detected += 1
+            self.misses += 1
+            return False, None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return True, value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert ``value`` (this is the poisoned-cache-entry fault site).
+
+        When the fault fires, the *stored* value is tampered while the
+        checksum stays that of the correct value -- modelling in-place
+        memory corruption.  The next :meth:`get` must detect it.
+        """
+        if self.size == 0:
+            return
+        checksum = _checksum(value)
+        plan = active_plan()
+        if plan is not None and plan.fire(FaultKind.POISON_CACHE) is not None:
+            value = _tamper(value)
+        self._entries[key] = (value, checksum)
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.size:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    async def get_or_compute(
+        self, key: Hashable, supplier: Callable[[], Awaitable[Any]]
+    ) -> Any:
+        """A verified cached value, or ``supplier()`` with single-flight.
+
+        Identical concurrent keys share one ``supplier`` call; its
+        failure propagates to every waiter and caches nothing.
+        """
+        hit, value = self.get(key)
+        if hit:
+            return value
+        pending = self._inflight.get(key)
+        if pending is not None:
+            self.coalesced += 1
+            return await asyncio.shield(pending)
+        future: asyncio.Future[Any] = asyncio.get_running_loop().create_future()
+        self._inflight[key] = future
+        try:
+            value = await supplier()
+        except BaseException as exc:
+            if not future.done():
+                future.set_exception(exc)
+            # The waiters consume the exception; nobody else will.
+            future.exception()
+            raise
+        else:
+            self.put(key, value)
+            if not future.done():
+                future.set_result(value)
+            return value
+        finally:
+            self._inflight.pop(key, None)
+
+    def clear(self) -> None:
+        """Drop every cached entry (index refreshes invalidate results)."""
+        self._entries.clear()
+
+    def snapshot(self) -> dict[str, int]:
+        """JSON-safe counters for telemetry and the stats endpoint."""
+        return {
+            "entries": len(self._entries),
+            "capacity": self.size,
+            "hits": self.hits,
+            "misses": self.misses,
+            "coalesced": self.coalesced,
+            "poison_detected": self.poison_detected,
+            "evictions": self.evictions,
+        }

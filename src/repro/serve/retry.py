@@ -1,0 +1,99 @@
+"""Deterministic jittered-exponential-backoff retry, shared repo-wide.
+
+Two callers need the exact same policy: the parallel experiment
+engine's unit retries (:mod:`repro.experiments.parallel`, where the
+inline implementation originally lived) and the serve layer's index
+(re)build loop (:mod:`repro.serve.service`).  Extracting it here keeps
+one tested implementation of the delay formula::
+
+    delay(attempt) = base * 2**(attempt - 2) * (0.5 + rng.random())
+
+for retry attempts numbered from 2 (attempt 1 is the original try).
+The jitter is drawn from a dedicated ``random.Random`` seeded at
+construction, so a given policy instance produces the same delay
+sequence on every run -- retries are as deterministic as everything
+else in this repo.  A ``base`` of zero disables sleeping (and draws no
+jitter, so arming retries never perturbs another consumer's stream).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from collections.abc import Callable
+from typing import TypeVar
+
+DEFAULT_BACKOFF_BASE = 0.05
+"""Base delay (seconds) of the jittered exponential retry backoff."""
+
+DEFAULT_BACKOFF_SEED = 0x5EED
+"""Historical fixed seed of the experiment engine's jitter stream."""
+
+T = TypeVar("T")
+
+
+class BackoffPolicy:
+    """Deterministic jittered exponential backoff delays.
+
+    ``delay(attempt)`` is the pause *before* retry ``attempt`` (>= 2);
+    each call advances the policy's private jitter stream, exactly like
+    the inline implementation this replaces.  ``max_delay`` optionally
+    caps the exponential growth (long-lived servers should not sleep
+    unboundedly between index rebuild attempts).
+    """
+
+    def __init__(
+        self,
+        base: float = DEFAULT_BACKOFF_BASE,
+        seed: int = DEFAULT_BACKOFF_SEED,
+        max_delay: float | None = None,
+    ) -> None:
+        if base < 0:
+            raise ValueError(f"backoff base must be >= 0, got {base}")
+        if max_delay is not None and max_delay < 0:
+            raise ValueError(f"max_delay must be >= 0, got {max_delay}")
+        self.base = base
+        self.max_delay = max_delay
+        self._rng = random.Random(seed)
+
+    def delay(self, attempt: int) -> float:
+        """Seconds to pause before retry ``attempt`` (the 2nd try is 2)."""
+        if self.base <= 0:
+            return 0.0
+        delay = self.base * (2 ** (attempt - 2)) * (0.5 + self._rng.random())
+        if self.max_delay is not None:
+            delay = min(delay, self.max_delay)
+        return delay
+
+
+def retry_call(
+    fn: Callable[[], T],
+    *,
+    retries: int,
+    policy: BackoffPolicy,
+    retry_on: type[BaseException] | tuple[type[BaseException], ...] = Exception,
+    sleep: Callable[[float], None] = time.sleep,
+    on_retry: Callable[[int, BaseException], None] | None = None,
+) -> T:
+    """Call ``fn`` with up to ``retries`` retried attempts.
+
+    Sleeps ``policy.delay(attempt)`` before each retry; ``on_retry``
+    (if given) observes every failed-then-retried attempt.  The final
+    failure propagates unchanged, so callers keep the real exception.
+    ``sleep`` is injectable for tests (and for event loops that must
+    not block: the serve layer passes a collector and awaits the delays
+    itself).
+    """
+    if retries < 0:
+        raise ValueError(f"retries must be >= 0, got {retries}")
+    attempt = 1
+    while True:
+        try:
+            return fn()
+        except retry_on as exc:
+            if attempt > retries:
+                raise
+            attempt += 1
+            if on_retry is not None:
+                on_retry(attempt, exc)
+            sleep(policy.delay(attempt))

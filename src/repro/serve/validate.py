@@ -1,0 +1,49 @@
+"""Request validation shared by the serve endpoints and the CLIs.
+
+One implementation of "is this a node id?" so the HTTP layer, the
+``repro serve`` probes and the ``repro chains`` probes reject malformed
+input with the same message shape: a structured error naming the
+offending value and the accepted range -- never a traceback.
+"""
+
+from __future__ import annotations
+
+from repro.errors import InvalidNodeError
+
+
+def parse_node_id(raw: object, num_nodes: int, name: str = "node") -> int:
+    """Parse and range-check one node id from untrusted input.
+
+    Accepts ints or int-shaped strings; anything else (floats,
+    booleans, ``"abc"``, ``"1.5"``) raises :class:`InvalidNodeError`
+    naming the parameter, the bad value, and the valid range
+    ``0..num_nodes-1``.
+    """
+    if isinstance(raw, bool) or not isinstance(raw, (int, str)):
+        raise InvalidNodeError(
+            f"{name} must be an integer node id, got {raw!r}"
+        )
+    try:
+        value = int(raw)
+    except ValueError:
+        raise InvalidNodeError(
+            f"{name} must be an integer node id, got {raw!r}"
+        ) from None
+    if not 0 <= value < num_nodes:
+        raise InvalidNodeError(
+            f"{name}={value} is outside the graph's range 0..{num_nodes - 1}"
+        )
+    return value
+
+
+def parse_probe(spec: str, num_nodes: int) -> tuple[int, int]:
+    """Parse one ``U:V`` probe pair (the CLIs' explicit spot queries)."""
+    source, sep, target = spec.partition(":")
+    if not sep:
+        raise InvalidNodeError(
+            f"probe {spec!r} is malformed: expected 'U:V' node-id pair"
+        )
+    return (
+        parse_node_id(source.strip(), num_nodes, name=f"probe {spec!r}: u"),
+        parse_node_id(target.strip(), num_nodes, name=f"probe {spec!r}: v"),
+    )

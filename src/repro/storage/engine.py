@@ -123,11 +123,25 @@ _default: str | None = None  # process-wide override; None = env / "paged"
 
 
 def default_engine() -> str:
-    """The effective default engine: explicit setting > REPRO_ENGINE > paged."""
+    """The effective default engine: explicit setting > REPRO_ENGINE > paged.
+
+    A ``REPRO_ENGINE`` value naming no registered engine raises a
+    :class:`~repro.errors.ConfigurationError` that spells out both the
+    offending value and the accepted set -- a typo'd export must not
+    silently fall back to the paged engine and measure the wrong thing.
+    """
     if _default is not None:
         return _default
     value = os.environ.get(ENV_ENGINE, "").strip().lower()
-    return value if value in ENGINE_NAMES else "paged"
+    if not value:
+        return "paged"
+    if value not in ENGINE_NAMES:
+        valid = ", ".join(ENGINE_NAMES)
+        raise ConfigurationError(
+            f"{ENV_ENGINE}={value!r} names an unknown storage engine; "
+            f"valid engines: {valid}"
+        )
+    return value
 
 
 def set_default_engine(name: str | None) -> str | None:

@@ -28,7 +28,7 @@ import sys
 from typing import TYPE_CHECKING, Any, Iterable
 
 from repro.chaos.audit import explicit_audit_mode
-from repro.chaos.faults import active_plan
+from repro.chaos.faults import STORAGE_FAULT_KINDS, active_plan
 from repro.errors import StorageError
 from repro.storage.engine import (
     CAP_AUDIT,
@@ -149,7 +149,11 @@ class FastEngine(StorageEngine):
             self.require(CAP_TRACE, "page tracing needs the simulated pool")
         if collector is not None:
             self.require(CAP_TRACE, "event tracing needs the simulated pool")
-        if active_plan() is not None:
+        plan = active_plan()
+        if plan is not None and plan.arms_any(STORAGE_FAULT_KINDS):
+            # Serve-site faults (slow-handler, poisoned-cache-entry, ...)
+            # live above the seam and work on every engine; only the
+            # storage/experiment sites need the paged substrate.
             self.require(CAP_CHAOS, "the storage fault sites live in the paged substrate")
         if explicit_audit_mode() not in (None, "off"):
             self.require(CAP_AUDIT, "substrate auditing needs the paged structures")

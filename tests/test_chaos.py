@@ -145,6 +145,35 @@ class TestDeterminism:
         monkeypatch.setenv("REPRO_CHAOS", "  ")
         assert arm_from_env() is None
 
+    def test_env_bad_spec_names_variable_and_value(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CHAOS", "warp-core-breach,p=0.5")
+        with pytest.raises(ConfigurationError) as excinfo:
+            arm_from_env()
+        message = str(excinfo.value)
+        assert "REPRO_CHAOS" in message
+        assert "warp-core-breach" in message
+
+    def test_env_bad_param_is_wrapped_too(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CHAOS", "corrupt-read,p=banana")
+        with pytest.raises(ConfigurationError, match="REPRO_CHAOS"):
+            arm_from_env()
+
+    def test_env_engine_bad_value_lists_valid_engines(self, monkeypatch):
+        from repro.storage.engine import default_engine
+
+        monkeypatch.setenv("REPRO_ENGINE", "turbo")
+        with pytest.raises(ConfigurationError) as excinfo:
+            default_engine()
+        message = str(excinfo.value)
+        assert "REPRO_ENGINE" in message and "turbo" in message
+        assert "paged" in message and "fast" in message
+
+    def test_env_engine_empty_falls_back_to_paged(self, monkeypatch):
+        from repro.storage.engine import default_engine
+
+        monkeypatch.setenv("REPRO_ENGINE", "  ")
+        assert default_engine() == "paged"
+
 
 def _run_btc(graph, system=None):
     return make_algorithm("btc").run(graph, Query.full(), system or SystemConfig())

@@ -69,6 +69,64 @@ class TestJournal:
         with pytest.raises(ValueError, match="corrupt checkpoint line"):
             SweepJournal(path)
 
+    def test_flush_every_batches_durability(self, tmp_path):
+        path = tmp_path / "sweep.journal"
+        with SweepJournal(path, flush_every=3) as journal:
+            journal.record("cell-a", _metrics(), _records())
+            journal.record("cell-b", _metrics(), _records())
+            assert journal._pending == 2  # batched, not yet fsynced
+            journal.record("cell-c", _metrics(), _records())
+            assert journal._pending == 0  # batch boundary flushed
+            journal.record("cell-d", _metrics(), _records())
+        # close() drains the partial tail batch.
+        assert SweepJournal(path).loaded == 4
+
+    def test_flush_every_rejects_non_positive(self, tmp_path):
+        with pytest.raises(ValueError, match="flush_every"):
+            SweepJournal(tmp_path / "sweep.journal", flush_every=0)
+
+    def test_torn_final_checkpoint_record_under_batching(self, tmp_path, capsys):
+        """A kill that tears the *final* record of a flush_every batch.
+
+        Only the last line may be damaged (whole-line writes), and
+        recovery must keep every earlier record of the same batch.
+        """
+        path = tmp_path / "sweep.journal"
+        journal = SweepJournal(path, flush_every=4)
+        for name in ("cell-a", "cell-b", "cell-c"):
+            journal.record(name, _metrics(), _records())
+        # Kill before the batch boundary: the OS got whatever the libc
+        # buffer held.  Model the worst allowed damage -- everything up
+        # to a cut partway through the final record.
+        journal._handle.flush()
+        data = path.read_bytes()
+        lines = data.splitlines(keepends=True)
+        assert len(lines) == 3
+        path.write_bytes(b"".join(lines[:-1]) + lines[-1][: len(lines[-1]) // 3])
+
+        survivor = SweepJournal(path)
+        assert "truncated" in capsys.readouterr().err
+        assert "cell-a" in survivor and "cell-b" in survivor
+        assert "cell-c" not in survivor  # simply re-runs on resume
+        assert survivor.loaded == 2
+
+    def test_torn_tail_cut_at_newline_boundary_loses_only_that_cell(
+        self, tmp_path
+    ):
+        path = tmp_path / "sweep.journal"
+        journal = SweepJournal(path, flush_every=2)
+        journal.record("cell-a", _metrics(), _records())
+        journal.record("cell-b", _metrics(), _records())  # batch fsynced here
+        journal.record("cell-c", _metrics(), _records())
+        journal._handle.flush()
+        # Tear exactly at the final record's first byte: clean loss.
+        lines = path.read_bytes().splitlines(keepends=True)
+        path.write_bytes(b"".join(lines[:-1]))
+
+        survivor = SweepJournal(path)
+        assert survivor.loaded == 2
+        assert "cell-c" not in survivor
+
     def test_cell_key_is_canonical(self):
         key = cell_key("btc", "G4", None, {"buffer_pages": 20}, {"name": "smoke"})
         assert key == cell_key("btc", "G4", None, {"buffer_pages": 20},

@@ -193,3 +193,60 @@ class TestCompareCommand:
         assert main(["compare", str(tmp_path / "a.jsonl"),
                      str(tmp_path / "b.jsonl")]) == 2
         assert "error:" in capsys.readouterr().err
+
+
+class TestChainsProbes:
+    WORKLOAD = ["chains", "--nodes", "150", "--seed", "3", "--queries", "10",
+                "--engine", "fast", "-q"]
+
+    def test_valid_probes_are_answered_and_verified(self, capsys):
+        assert main([*self.WORKLOAD, "--probe", "0:100", "--probe", "5:6"]) == 0
+        output = capsys.readouterr().out
+        assert "probe reachable(0, 100)" in output
+        assert "verified=ok" in output
+
+    def test_out_of_range_probe_exits_two_with_message(self, capsys):
+        assert main([*self.WORKLOAD, "--probe", "0:9999"]) == 2
+        err = capsys.readouterr().err
+        assert "outside the graph's range 0..149" in err
+        assert "Traceback" not in err
+
+    def test_malformed_probe_exits_two_with_message(self, capsys):
+        assert main([*self.WORKLOAD, "--probe", "abc"]) == 2
+        err = capsys.readouterr().err
+        assert "expected 'U:V'" in err
+        assert "Traceback" not in err
+
+
+class TestServeCommand:
+    WORKLOAD = ["serve", "--nodes", "150", "--seed", "3", "--engine", "fast"]
+
+    def test_self_check_passes_on_both_engines(self, capsys):
+        assert main([*self.WORKLOAD, "--self-check", "40"]) == 0
+        assert main(["serve", "--nodes", "150", "--seed", "3",
+                     "--engine", "paged", "--self-check", "40"]) == 0
+        output = capsys.readouterr().out
+        assert "wrong=0" in output
+        assert "healthz=ok" in output and "readyz=ok" in output
+
+    def test_probe_mode_answers_directly(self, capsys):
+        assert main([*self.WORKLOAD, "--probe", "0:100"]) == 0
+        assert "verified=ok" in capsys.readouterr().out
+
+    def test_invalid_probe_exits_two(self, capsys):
+        assert main([*self.WORKLOAD, "--probe", "0:9999"]) == 2
+        assert "outside the graph's range" in capsys.readouterr().err
+
+    def test_self_check_emits_serve_run_record(self, tmp_path, capsys):
+        out = tmp_path / "serve.jsonl"
+        assert main([*self.WORKLOAD, "--self-check", "20",
+                     "--emit-json", str(out)]) == 0
+        record = json.loads(out.read_text())
+        assert record["algorithm"] == "serve"
+        assert record["metrics"]["answered"] >= 20
+        assert "latency_p99_ms" in record["metrics"]
+
+    def test_bad_serve_config_exits_one(self, capsys):
+        assert main([*self.WORKLOAD, "--deadline-ms", "-5",
+                     "--self-check", "1"]) == 1
+        assert "error:" in capsys.readouterr().err
