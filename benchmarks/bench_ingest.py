@@ -1,0 +1,160 @@
+"""Benchmark: ingestion-scale pipeline on the CSR graph core.
+
+The acceptance scenario for the array-backed core: generate the
+``braid-125k`` stream family (125,000 nodes, ~1.1M arcs) to a gzipped
+SNAP file, stream it back through :func:`repro.graphs.ingest.load_snap`
+into a frozen CSR graph, build the chain reachability index on the fast
+engine, and answer seeded reachability probes -- every one verified
+against a direct forward search.  Writes ``BENCH_ingest.json`` at the
+repository root (same sorted-keys / trailing-newline discipline as the
+other ``BENCH_*.json`` files) with:
+
+* ingest throughput (arc lines per second) and wall time;
+* peak RSS after the whole pipeline (the bounded-memory claim);
+* chain-index build wall time and shape (k, vector entries);
+* verified-probe throughput (queries per second).
+
+Probes are batched: a handful of sources share one direct BFS each, so
+the oracle costs O(sources * (n + m)) instead of O(probes * (n + m))
+while every index answer is still independently checked.
+
+Run standalone (``python benchmarks/bench_ingest.py``) or under the
+bench suite (``pytest benchmarks/bench_ingest.py``).
+"""
+
+import random
+import resource
+import tempfile
+import time
+from pathlib import Path
+
+from repro.core.chains import build_chain_index
+from repro.core.query import SystemConfig
+from repro.graphs.ingest import stream_family
+from repro.graphs.toposort import reachable_from
+from repro.obs.bench import write_bench_summary
+
+FAMILY = "braid-125k"
+PROBES = 1000
+PROBE_SOURCES = 10
+PROBE_SEED = 17
+
+
+def _peak_rss_mb():
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024
+
+
+def run_suite():
+    family = stream_family(FAMILY)
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-ingest-") as tmp:
+        path = Path(tmp) / f"{family.name}.snap.gz"
+        write_start = time.perf_counter()
+        arcs_written = family.write(path)
+        write_seconds = time.perf_counter() - write_start
+        file_mb = path.stat().st_size / (1024 * 1024)
+
+        from repro.graphs.ingest import load_snap
+
+        load_start = time.perf_counter()
+        result = load_snap(path)
+        load_seconds = time.perf_counter() - load_start
+
+    graph, stats = result.graph, result.stats
+    assert stats.nodes == family.num_nodes
+    assert stats.arcs == arcs_written and not stats.compacted
+    assert stats.acyclic
+
+    build_start = time.perf_counter()
+    index = build_chain_index(graph, None, SystemConfig(engine="fast"))
+    build_seconds = time.perf_counter() - build_start
+    vector_entries = sum(len(vector) for vector in index.vectors.values())
+
+    # Seeded verified probes: sources drawn from the back half of the
+    # node range keep each oracle BFS small while still crossing chain
+    # boundaries (every braid node can reach later chains).
+    rng = random.Random(PROBE_SEED)
+    per_source = PROBES // PROBE_SOURCES
+    pairs = []
+    checked = failures = positives = 0
+    for _ in range(PROBE_SOURCES):
+        u = rng.randrange(graph.num_nodes // 2, graph.num_nodes)
+        closure = reachable_from(graph, [u])
+        for _ in range(per_source):
+            v = rng.randrange(graph.num_nodes)
+            got = index.reachable(u, v)
+            expected = v != u and v in closure
+            positives += got
+            failures += got != expected
+            checked += 1
+            pairs.append((u, v))
+    assert failures == 0, f"{failures} mismatched probes"
+
+    # Throughput over the already-verified probe set: pure index reads,
+    # no oracle in the timed region.
+    query_start = time.perf_counter()
+    for u, v in pairs:
+        index.reachable(u, v)
+    query_seconds = time.perf_counter() - query_start
+
+    return {
+        "workload": {
+            "family": family.name,
+            "nodes": stats.nodes,
+            "arcs": stats.arcs,
+            "file_mb": round(file_mb, 1),
+        },
+        "write": {
+            "seconds": round(write_seconds, 2),
+            "arcs_per_second": round(arcs_written / write_seconds),
+        },
+        "ingest": {
+            "seconds": round(load_seconds, 2),
+            "arcs_per_second": round(stats.arc_lines / load_seconds),
+        },
+        "index": {
+            "engine": "fast",
+            "build_seconds": round(build_seconds, 2),
+            "k": index.k,
+            "vector_entries": vector_entries,
+        },
+        "probes": {
+            "count": checked,
+            "sources": PROBE_SOURCES,
+            "positives": positives,
+            "failures": failures,
+            "qps": round(len(pairs) / query_seconds),
+        },
+        "peak_rss_mb": round(_peak_rss_mb(), 1),
+    }
+
+
+def test_ingest_pipeline_at_scale(benchmark):
+    out = benchmark.pedantic(run_suite, rounds=1, iterations=1)
+    write_bench_summary(out, Path(__file__).resolve().parents[1] / "BENCH_ingest.json")
+    print(
+        f"\n{out['workload']['family']}: n={out['workload']['nodes']:,} "
+        f"m={out['workload']['arcs']:,} ({out['workload']['file_mb']}MB gz), "
+        f"ingest {out['ingest']['arcs_per_second']:,}/s, "
+        f"index build {out['index']['build_seconds']}s "
+        f"(k={out['index']['k']}), "
+        f"probes {out['probes']['qps']:,} qps, "
+        f"peak RSS {out['peak_rss_mb']}MB"
+    )
+    # The acceptance floor: a >=100k-node / >=1M-arc graph ingested and
+    # indexed with every probe verified.
+    assert out["workload"]["nodes"] >= 100_000
+    assert out["workload"]["arcs"] >= 1_000_000
+    assert out["probes"]["failures"] == 0
+    # Bounded memory: the whole pipeline (stream, CSR, index) must stay
+    # far below the per-node-Python-list regime (~1KB/node would be
+    # 125MB for the graph alone before the index).
+    assert out["peak_rss_mb"] < 2048
+
+
+if __name__ == "__main__":
+    summary = run_suite()
+    write_bench_summary(
+        summary, Path(__file__).resolve().parents[1] / "BENCH_ingest.json"
+    )
+    print(summary)

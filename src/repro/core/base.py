@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import time
 from abc import ABC, abstractmethod
+from collections.abc import Sequence
 
 from repro.core.context import ExecutionContext
 from repro.core.query import Query, SystemConfig
@@ -40,12 +41,13 @@ from repro.storage.iostats import Phase
 from repro.storage.trace import PageTrace
 
 
-def topological_sort_map(adjacency: dict[int, list[int]]) -> list[int]:
+def topological_sort_map(adjacency: dict[int, Sequence[int]]) -> list[int]:
     """Topologically sort the nodes of an adjacency mapping.
 
     Like :func:`repro.graphs.toposort.topological_sort` but over the
     context's (possibly rewritten) adjacency instead of the input
-    graph, so BJ's single-parent reduction is honoured.
+    graph, so BJ's single-parent reduction is honoured.  Rows may be
+    plain lists or zero-copy CSR rows; only sequence reads are used.
     """
     WHITE, GRAY, BLACK = 0, 1, 2
     color = dict.fromkeys(adjacency, WHITE)
@@ -94,6 +96,14 @@ class TwoPhaseAlgorithm(ABC):
     name: str = "abstract"
     needs_inverse: bool = False
     """Whether the algorithm requires the dual (inverse) relation."""
+    mutates_adjacency: bool = False
+    """Whether the algorithm rewrites ``ctx.adjacency`` rows in place.
+
+    When ``False`` (every algorithm except BJ) the restructuring phase
+    hands out zero-copy CSR rows instead of per-node list copies, so a
+    full-query scan of an ``m``-arc graph allocates O(n) row views
+    rather than O(n + m) list cells.
+    """
 
     def run(
         self,
@@ -179,14 +189,21 @@ class TwoPhaseAlgorithm(ABC):
         if query.is_full:
             ctx.engine.scan_relation()
             ctx.in_scope = set(graph.nodes())
-            ctx.adjacency = graph.adjacency_lists()
+            # Mutating algorithms (BJ) get fresh per-node lists; the
+            # rest read the graph's CSR rows zero-copy.
+            ctx.adjacency = (
+                graph.adjacency_lists()
+                if self.mutates_adjacency
+                else graph.adjacency_rows()
+            )
             ctx.metrics.fold(tuple_io=graph.num_arcs)
             return
 
         seen: set[int] = set()
         stack = list(query.sources or ())
-        adjacency: dict[int, list[int]] = {}
+        adjacency: dict[int, Sequence[int]] = {}
         tuple_io = 0
+        copy_rows = self.mutates_adjacency
         while stack:
             node = stack.pop()
             if node in seen:
@@ -196,7 +213,7 @@ class TwoPhaseAlgorithm(ABC):
             tuple_io += len(children)
             # Children of a reachable node are reachable, so the whole
             # successor list stays in the magic graph.
-            adjacency[node] = list(children)
+            adjacency[node] = list(children) if copy_rows else children
             for child in children:
                 if child not in seen:
                     stack.append(child)

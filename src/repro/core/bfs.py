@@ -21,6 +21,10 @@ class BjAlgorithm(BtcAlgorithm):
     """BTC plus the single-parent reduction of the magic graph."""
 
     name = "bj"
+    # The single-parent reduction appends adopted children to (and
+    # empties) adjacency rows, so BJ needs mutable list copies instead
+    # of the zero-copy CSR rows the other algorithms read.
+    mutates_adjacency = True
 
     def restructure(self, ctx: ExecutionContext) -> None:
         self.identify_scope(ctx)

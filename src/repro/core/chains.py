@@ -311,6 +311,26 @@ class _ChainIndexBuilder(ChainsAlgorithm):
         self.vectors: dict[int, dict[int, int]] = {}
         self._vector_store: ListStore | None = None
 
+    def build_lists(self, ctx: ExecutionContext) -> None:
+        """Create the store lists but skip the child bitsets.
+
+        The index build never expands successor lists -- ``compute``
+        reads only the adjacency and the k-vectors, and ``write_out``
+        flushes the vector pages -- so materialising the per-node child
+        bitsets (O(n^2 / 8) bytes on a large local graph: each bitset's
+        width is its highest child id) would be pure waste.  The store
+        calls are identical to the base method, so the paged engine's
+        page/cost counters are unchanged.
+        """
+        adjacency = ctx.adjacency
+        create_list = ctx.store.create_list
+        lists = ctx.lists
+        acquired = ctx.acquired
+        for node in reversed(ctx.topo_order):
+            create_list(node, len(adjacency[node]))
+            lists[node] = 0
+            acquired[node] = 0
+
     def compute(self, ctx: ExecutionContext) -> None:
         self.deco = decompose_chains(ctx.adjacency, ctx.topo_order, refine=self.refine)
         self._vector_store, self.vectors = _build_vectors(ctx, self.deco)

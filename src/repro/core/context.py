@@ -12,6 +12,8 @@ storage is owned by the engine; the algorithms reach it through
 
 from __future__ import annotations
 
+from collections.abc import Sequence
+
 from repro.chaos.audit import make_auditor
 from repro.core.query import Query, SystemConfig
 from repro.graphs.digraph import Digraph
@@ -75,8 +77,13 @@ class ExecutionContext:
         """The magic graph's node set (all nodes for a full query)."""
         self.levels: dict[int, int] = {}
         """Node levels of the magic graph (rectangle model, Section 5.3)."""
-        self.adjacency: dict[int, list[int]] = {}
-        """Per-node children within the magic graph; BJ rewrites this."""
+        self.adjacency: dict[int, Sequence[int]] = {}
+        """Per-node children within the magic graph.
+
+        Rows are zero-copy CSR :class:`~repro.graphs.digraph.ArcView`
+        windows for read-only algorithms, or fresh mutable lists when
+        the algorithm declares ``mutates_adjacency`` (only BJ does).
+        """
         self.num_magic_arcs: int = 0
         """Arc count of the magic graph, frozen when the scope is sorted."""
         self.lists: dict[int, int] = {}

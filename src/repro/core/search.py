@@ -19,6 +19,8 @@ computation phase is empty.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
+
 from repro.core.base import TwoPhaseAlgorithm
 from repro.core.context import ExecutionContext
 from repro.errors import ConfigurationError
@@ -36,7 +38,7 @@ class SearchAlgorithm(TwoPhaseAlgorithm):
                 "use Query.ptc(...) or pass every node as a source"
             )
         metrics = ctx.metrics
-        adjacency: dict[int, list[int]] = {}
+        adjacency: dict[int, Sequence[int]] = {}
         scope: set[int] = set()
         list_unions = tuple_io = arcs_considered = duplicates = 0
 
@@ -50,7 +52,11 @@ class SearchAlgorithm(TwoPhaseAlgorithm):
             while stack:
                 node = stack.pop()
                 children = ctx.engine.read_successors(node)
-                adjacency.setdefault(node, list(children))
+                if node not in adjacency:
+                    # Rows are read-only here, so the engine's row (a
+                    # zero-copy CSR view on the fast engine) is stored
+                    # as-is instead of being copied per visit.
+                    adjacency[node] = children
                 scope.add(node)
                 if children:
                     # Union of S_source with the *immediate* successor

@@ -26,6 +26,17 @@ class InvalidNodeError(ReproError):
     """A node identifier is outside the graph's ``0..n-1`` node range."""
 
 
+class IngestError(ReproError, ValueError):
+    """A real-graph edge-list file could not be ingested.
+
+    Raised by :mod:`repro.graphs.ingest` for malformed input (an edge
+    line with fewer than two fields, an unreadable payload) with the
+    offending line number in the message.  Also a :class:`ValueError`,
+    matching :class:`ConfigurationError`'s convention for bad input
+    data.
+    """
+
+
 class BufferPoolError(ReproError):
     """Base class for buffer-manager failures."""
 

@@ -13,6 +13,8 @@
 * :mod:`repro.graphs.chains` -- chain decomposition (path cover), the
   combinatorial core of the ``chains`` reachability index.
 * :mod:`repro.graphs.magic` -- the magic subgraph of a selection query.
+* :mod:`repro.graphs.ingest` -- streaming SNAP edge-list ingestion and
+  the large-scale stream-family registry.
 """
 
 from repro.graphs.analysis import (
@@ -27,31 +29,53 @@ from repro.graphs.analysis import (
 from repro.graphs.chains import ChainDecomposition, chain_decomposition
 from repro.graphs.condensation import condensation, strongly_connected_components
 from repro.graphs.datasets import GRAPH_FAMILIES, GraphFamily, build_graph, graph_family
-from repro.graphs.digraph import Digraph
-from repro.graphs.generator import generate_dag
+from repro.graphs.digraph import ArcView, Digraph, DigraphBuilder, graph_from_columns
+from repro.graphs.generator import generate_dag, iter_paper_arcs
+from repro.graphs.ingest import (
+    STREAM_FAMILIES,
+    IngestResult,
+    IngestStats,
+    StreamFamily,
+    iter_braided_arcs,
+    load_snap,
+    stream_family,
+    write_snap,
+)
 from repro.graphs.magic import magic_subgraph
 from repro.graphs.toposort import is_acyclic, reachable_from, topological_sort
 
 __all__ = [
+    "ArcView",
     "ChainDecomposition",
     "Digraph",
+    "DigraphBuilder",
     "GRAPH_FAMILIES",
     "GraphFamily",
     "GraphProfile",
+    "IngestResult",
+    "IngestStats",
+    "STREAM_FAMILIES",
+    "StreamFamily",
     "arc_locality",
     "build_graph",
     "chain_decomposition",
     "condensation",
     "generate_dag",
     "graph_family",
+    "graph_from_columns",
     "is_acyclic",
+    "iter_braided_arcs",
+    "iter_paper_arcs",
+    "load_snap",
     "magic_subgraph",
     "node_levels",
     "profile_graph",
     "reachable_from",
+    "stream_family",
     "strongly_connected_components",
     "topological_sort",
     "transitive_closure_sets",
     "transitive_closure_size",
     "transitive_reduction_arcs",
+    "write_snap",
 ]

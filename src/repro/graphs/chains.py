@@ -29,6 +29,7 @@ accounting and the queryable index on top.
 
 from __future__ import annotations
 
+from collections.abc import Mapping, Sequence
 from dataclasses import dataclass
 
 from repro.graphs.digraph import Digraph
@@ -61,7 +62,7 @@ class ChainDecomposition:
 
 
 def decompose_chains(
-    adjacency: dict[int, list[int]],
+    adjacency: Mapping[int, Sequence[int]],
     order: list[int],
     *,
     refine: bool = True,
@@ -119,7 +120,7 @@ def decompose_chains(
 
 
 def _concatenate(
-    chains: list[list[int]], adjacency: dict[int, list[int]]
+    chains: list[list[int]], adjacency: Mapping[int, Sequence[int]]
 ) -> list[list[int]]:
     """Join chains end to end along arcs until no join applies.
 
@@ -165,13 +166,16 @@ def chain_decomposition(
     cyclic inputs with :mod:`repro.graphs.condensation` first).
     """
     order = topological_sort(graph, nodes)
-    in_scope = None if nodes is None else set(nodes)
-    adjacency = {
-        node: [
-            child
-            for child in graph.successors(node)
-            if in_scope is None or child in in_scope
-        ]
-        for node in order
-    }
+    if nodes is None:
+        # Whole-graph decomposition reads the CSR rows zero-copy; only
+        # the induced-subset path filters into per-node lists.
+        adjacency: Mapping[int, Sequence[int]] = {
+            node: graph.successors(node) for node in order
+        }
+    else:
+        in_scope = set(nodes)
+        adjacency = {
+            node: [child for child in graph.successors(node) if child in in_scope]
+            for node in order
+        }
     return decompose_chains(adjacency, order, refine=refine)

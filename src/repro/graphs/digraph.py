@@ -1,34 +1,112 @@
-"""A compact directed-graph type.
+"""A compact directed-graph type over a frozen CSR arc store.
 
-Nodes are the integers ``0 .. n-1`` and arcs are ordered pairs stored in
-per-node successor lists.  This is deliberately minimal: the heavy
-machinery (paged storage, buffer management) lives in
-:mod:`repro.storage`; :class:`Digraph` is only the logical graph handed
-to the generator, the analysis routines and the algorithms.
+Nodes are the integers ``0 .. n-1`` and arcs live in a *compressed
+sparse row* (CSR) layout: one ``array('q')`` of row offsets (length
+``n + 1``) and one of arc targets (length ``m``), with an on-demand
+reverse CSR for predecessor queries.  Successor rows are handed out as
+zero-copy read-only ``memoryview`` slices (:class:`ArcView`), so the
+graph is structurally immutable from the caller's side -- there is no
+internal list to alias and mutate by accident.
+
+This is deliberately minimal: the heavy machinery (paged storage,
+buffer management) lives in :mod:`repro.storage`; :class:`Digraph` is
+only the logical graph handed to the generator, the analysis routines
+and the algorithms.  Incremental construction goes through
+:class:`DigraphBuilder` (bulk, bounded-memory) or the compatibility
+:meth:`Digraph.add_arc` overlay (small graphs, tests).
 """
 
 from __future__ import annotations
 
-from collections.abc import Iterable, Iterator
+from array import array
+from collections.abc import Iterable, Iterator, Sequence
+from typing import Any
 
 from repro.errors import InvalidNodeError
+
+_EMPTY_TARGETS = array("q")
+
+
+class ArcView(Sequence[int]):
+    """A read-only, sorted run of node ids backed by a CSR slice.
+
+    Behaves like the successor list the pre-CSR ``Digraph`` handed out
+    (indexing, slicing, iteration, ``in`` via binary search, equality
+    with lists/tuples) except that mutation is structurally impossible:
+    there is no ``append``/``__setitem__``, and the underlying
+    ``memoryview`` is read-only.
+    """
+
+    __slots__ = ("_view",)
+
+    def __init__(self, view: memoryview) -> None:
+        self._view = view
+
+    def __len__(self) -> int:
+        return len(self._view)
+
+    def __getitem__(self, index: Any) -> Any:
+        if isinstance(index, slice):
+            return ArcView(self._view[index])
+        return self._view[index]
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._view)
+
+    def __contains__(self, value: object) -> bool:
+        if not isinstance(value, int):
+            return False
+        view = self._view
+        lo, hi = 0, len(view)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if view[mid] < value:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo < len(view) and view[lo] == value
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, ArcView):
+            return self._view == other._view
+        if isinstance(other, (list, tuple)):
+            view = self._view
+            return len(view) == len(other) and all(
+                mine == theirs for mine, theirs in zip(view, other)
+            )
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(tuple(self._view))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ArcView({list(self._view)!r})"
 
 
 class Digraph:
     """A directed graph over nodes ``0 .. n-1``.
 
-    Successor lists are kept sorted and duplicate-free, matching the
-    paper's input relations (duplicate tuples produced by the graph
-    generation routine were eliminated, Section 5.3, footnote 1).
+    Successor rows are sorted and duplicate-free, matching the paper's
+    input relations (duplicate tuples produced by the graph generation
+    routine were eliminated, Section 5.3, footnote 1).
+
+    The arc store is a frozen CSR; :meth:`add_arc` is supported as a
+    *pending overlay* that is merged back into the CSR lazily on the
+    next read, so test-style interleaved construction keeps working
+    while bulk construction (:class:`DigraphBuilder`,
+    :meth:`from_arcs`) pays exactly one array build.
     """
 
-    __slots__ = ("_succ", "_pred", "_arc_count")
+    __slots__ = ("_offsets", "_targets", "_mv", "_rev", "_pending", "_arc_count")
 
     def __init__(self, num_nodes: int) -> None:
         if num_nodes < 0:
             raise InvalidNodeError(f"number of nodes must be non-negative, got {num_nodes}")
-        self._succ: list[list[int]] = [[] for _ in range(num_nodes)]
-        self._pred: list[list[int]] | None = None
+        self._offsets = array("q", bytes(8 * (num_nodes + 1)))
+        self._targets = _EMPTY_TARGETS
+        self._mv = memoryview(self._targets).toreadonly()
+        self._rev: tuple[array, array] | None = None
+        self._pending: set[tuple[int, int]] = set()
         self._arc_count = 0
 
     # -- construction ------------------------------------------------------
@@ -39,34 +117,36 @@ class Digraph:
 
         Duplicate arcs are silently collapsed.
         """
-        graph = cls(num_nodes)
-        by_source: dict[int, set[int]] = {}
+        builder = DigraphBuilder(num_nodes)
         for src, dst in arcs:
-            graph._check(src)
-            graph._check(dst)
-            by_source.setdefault(src, set()).add(dst)
-        for src, dsts in by_source.items():
-            graph._succ[src] = sorted(dsts)
-            graph._arc_count += len(dsts)
+            builder.add_arc(src, dst)
+        return builder.freeze()
+
+    @classmethod
+    def _from_csr(cls, num_nodes: int, offsets: array, targets: array) -> "Digraph":
+        """Adopt already-built CSR arrays (sorted, duplicate-free rows).
+
+        The arrays become the graph's own storage; callers hand over
+        ownership and must not mutate them afterwards.
+        """
+        graph = cls.__new__(cls)
+        graph._offsets = offsets
+        graph._targets = targets
+        graph._mv = memoryview(targets).toreadonly()
+        graph._rev = None
+        graph._pending = set()
+        graph._arc_count = len(targets)
         return graph
 
     def add_arc(self, src: int, dst: int) -> bool:
         """Add the arc (src, dst); return ``False`` if already present."""
         self._check(src)
         self._check(dst)
-        successors = self._succ[src]
-        lo, hi = 0, len(successors)
-        while lo < hi:
-            mid = (lo + hi) // 2
-            if successors[mid] < dst:
-                lo = mid + 1
-            else:
-                hi = mid
-        if lo < len(successors) and successors[lo] == dst:
+        if (src, dst) in self._pending or self._sealed_has(src, dst):
             return False
-        successors.insert(lo, dst)
+        self._pending.add((src, dst))
         self._arc_count += 1
-        self._pred = None
+        self._rev = None
         return True
 
     # -- accessors -----------------------------------------------------------
@@ -74,46 +154,60 @@ class Digraph:
     @property
     def num_nodes(self) -> int:
         """Number of nodes (``n`` in the paper)."""
-        return len(self._succ)
+        return len(self._offsets) - 1
 
     @property
     def num_arcs(self) -> int:
         """Number of arcs (``|G|`` in the paper)."""
         return self._arc_count
 
-    def successors(self, node: int) -> list[int]:
+    @property
+    def csr_offsets(self) -> memoryview:
+        """Read-only row-offset array of the sealed CSR (length ``n + 1``)."""
+        self._seal()
+        return memoryview(self._offsets).toreadonly()
+
+    @property
+    def csr_targets(self) -> memoryview:
+        """Read-only arc-target array of the sealed CSR (length ``m``)."""
+        self._seal()
+        return self._mv
+
+    def successors(self, node: int) -> ArcView:
         """The sorted immediate successors of ``node``.
 
-        The returned list is the graph's own; callers must not mutate it.
+        Zero-copy: the returned :class:`ArcView` windows the graph's CSR
+        directly and is structurally immutable.
         """
         self._check(node)
-        return self._succ[node]
+        self._seal()
+        return ArcView(self._mv[self._offsets[node] : self._offsets[node + 1]])
 
-    def predecessors(self, node: int) -> list[int]:
+    def predecessors(self, node: int) -> ArcView:
         """The sorted immediate predecessors of ``node`` (computed lazily)."""
         self._check(node)
-        if self._pred is None:
-            pred: list[list[int]] = [[] for _ in range(self.num_nodes)]
-            for src in range(self.num_nodes):
-                for dst in self._succ[src]:
-                    pred[dst].append(src)
-            self._pred = pred
-        return self._pred[node]
+        roffsets, rmv = self._reverse_csr()
+        return ArcView(rmv[roffsets[node] : roffsets[node + 1]])
 
     def out_degree(self, node: int) -> int:
         """Number of immediate successors of ``node``."""
         self._check(node)
-        return len(self._succ[node])
+        self._seal()
+        return self._offsets[node + 1] - self._offsets[node]
 
     def in_degree(self, node: int) -> int:
         """Number of immediate predecessors of ``node``."""
-        return len(self.predecessors(node))
+        self._check(node)
+        roffsets, _ = self._reverse_csr()
+        return roffsets[node + 1] - roffsets[node]
 
     def arcs(self) -> Iterator[tuple[int, int]]:
         """Iterate over all arcs in (source, destination) order."""
+        self._seal()
+        offsets, targets = self._offsets, self._targets
         for src in range(self.num_nodes):
-            for dst in self._succ[src]:
-                yield src, dst
+            for position in range(offsets[src], offsets[src + 1]):
+                yield src, targets[position]
 
     def nodes(self) -> range:
         """The node identifiers ``0 .. n-1``."""
@@ -123,28 +217,41 @@ class Digraph:
         """A fresh ``{node: [successors...]}`` mapping of the whole graph.
 
         Every list is a copy, so callers may rewrite the mapping freely
-        (the restructuring phase hands it to the algorithms, and BJ's
-        single-parent reduction mutates it in place).
+        (BJ's single-parent reduction mutates it in place).  Algorithms
+        that only *read* adjacency should prefer
+        :meth:`adjacency_rows`, which skips the copies.
         """
-        return {node: list(children) for node, children in enumerate(self._succ)}
+        self._seal()
+        offsets, targets = self._offsets, self._targets
+        return {
+            node: targets[offsets[node] : offsets[node + 1]].tolist()
+            for node in range(self.num_nodes)
+        }
+
+    def adjacency_rows(self) -> dict[int, ArcView]:
+        """A ``{node: successors}`` mapping of zero-copy CSR rows.
+
+        The rows are read-only windows onto the graph's arrays -- no
+        per-node list is materialised.  Callers that mutate adjacency
+        (only BJ does) must use :meth:`adjacency_lists` instead.
+        """
+        self._seal()
+        offsets, mv = self._offsets, self._mv
+        return {
+            node: ArcView(mv[offsets[node] : offsets[node + 1]])
+            for node in range(self.num_nodes)
+        }
 
     def has_arc(self, src: int, dst: int) -> bool:
         """Whether the arc (src, dst) is present."""
         self._check(src)
         self._check(dst)
-        successors = self._succ[src]
-        lo, hi = 0, len(successors)
-        while lo < hi:
-            mid = (lo + hi) // 2
-            if successors[mid] < dst:
-                lo = mid + 1
-            else:
-                hi = mid
-        return lo < len(successors) and successors[lo] == dst
+        return (src, dst) in self._pending or self._sealed_has(src, dst)
 
     def reverse(self) -> "Digraph":
         """A new graph with every arc reversed."""
-        return Digraph.from_arcs(self.num_nodes, ((dst, src) for src, dst in self.arcs()))
+        roffsets, rtargets = self._reverse_arrays()
+        return Digraph._from_csr(self.num_nodes, array("q", roffsets), array("q", rtargets))
 
     def induced_subgraph(self, nodes: Iterable[int]) -> "Digraph":
         """The subgraph induced by ``nodes``, keeping original node ids.
@@ -156,18 +263,26 @@ class Digraph:
         keep = set(nodes)
         for node in keep:
             self._check(node)
-        arcs = (
-            (src, dst)
-            for src in keep
-            for dst in self._succ[src]
-            if dst in keep
-        )
-        return Digraph.from_arcs(self.num_nodes, arcs)
+        self._seal()
+        offsets, targets = self._offsets, self._targets
+        builder = DigraphBuilder(self.num_nodes)
+        for src in keep:
+            for position in range(offsets[src], offsets[src + 1]):
+                dst = targets[position]
+                if dst in keep:
+                    builder.add_arc(src, dst)
+        return builder.freeze()
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Digraph):
             return NotImplemented
-        return self._succ == other._succ
+        self._seal()
+        other._seal()
+        return self._offsets == other._offsets and self._targets == other._targets
+
+    def __reduce__(self) -> tuple[Any, ...]:
+        self._seal()
+        return (Digraph._from_csr, (self.num_nodes, self._offsets, self._targets))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Digraph(n={self.num_nodes}, arcs={self.num_arcs})"
@@ -175,7 +290,197 @@ class Digraph:
     # -- internals -----------------------------------------------------------
 
     def _check(self, node: int) -> None:
-        if not 0 <= node < len(self._succ):
+        if not 0 <= node < len(self._offsets) - 1:
             raise InvalidNodeError(
-                f"node {node} outside the graph's range 0..{len(self._succ) - 1}"
+                f"node {node} outside the graph's range 0..{len(self._offsets) - 2}"
             )
+
+    def _sealed_has(self, src: int, dst: int) -> bool:
+        targets = self._targets
+        lo, hi = self._offsets[src], self._offsets[src + 1]
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if targets[mid] < dst:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo < self._offsets[src + 1] and targets[lo] == dst
+
+    def _seal(self) -> None:
+        """Merge the pending-arc overlay into fresh CSR arrays.
+
+        A fresh allocation (never ``array.extend``) is mandatory: live
+        :class:`ArcView` handles hold buffer exports over the old
+        targets array, and resizing an exported ``array`` raises
+        ``BufferError``.  Old views stay valid over the old arrays.
+        """
+        if not self._pending:
+            return
+        pending = sorted(self._pending)
+        num_nodes = self.num_nodes
+        old_offsets, old_targets = self._offsets, self._targets
+        new_offsets = array("q", bytes(8 * (num_nodes + 1)))
+        new_targets = array("q", bytes(8 * (len(old_targets) + len(pending))))
+        out = 0
+        take = 0  # cursor into the sorted pending arcs
+        for node in range(num_nodes):
+            position = old_offsets[node]
+            end = old_offsets[node + 1]
+            while take < len(pending) and pending[take][0] == node:
+                dst = pending[take][1]
+                while position < end and old_targets[position] < dst:
+                    new_targets[out] = old_targets[position]
+                    position += 1
+                    out += 1
+                new_targets[out] = dst
+                out += 1
+                take += 1
+            while position < end:
+                new_targets[out] = old_targets[position]
+                position += 1
+                out += 1
+            new_offsets[node + 1] = out
+        self._offsets = new_offsets
+        self._targets = new_targets
+        self._mv = memoryview(new_targets).toreadonly()
+        self._pending = set()
+
+    def _reverse_arrays(self) -> tuple[array, array]:
+        """The reverse CSR (predecessor rows), built once and cached.
+
+        A counting sort over the forward arcs: scattering targets in
+        (source asc, target asc) order leaves every reverse row sorted.
+        """
+        self._seal()
+        if self._rev is None:
+            num_nodes = self.num_nodes
+            offsets, targets = self._offsets, self._targets
+            roffsets = array("q", bytes(8 * (num_nodes + 1)))
+            for dst in targets:
+                roffsets[dst + 1] += 1
+            for node in range(num_nodes):
+                roffsets[node + 1] += roffsets[node]
+            rtargets = array("q", bytes(8 * len(targets)))
+            cursor = array("q", roffsets[:num_nodes])
+            for src in range(num_nodes):
+                for position in range(offsets[src], offsets[src + 1]):
+                    dst = targets[position]
+                    rtargets[cursor[dst]] = src
+                    cursor[dst] += 1
+            self._rev = (roffsets, rtargets)
+        return self._rev
+
+    def _reverse_csr(self) -> tuple[array, memoryview]:
+        roffsets, rtargets = self._reverse_arrays()
+        return roffsets, memoryview(rtargets).toreadonly()
+
+
+class DigraphBuilder:
+    """A mutable arc accumulator that freezes into a CSR :class:`Digraph`.
+
+    Arcs are appended to two flat ``array('q')`` columns (source,
+    target) -- 16 bytes per arc, no per-node Python lists -- and
+    :meth:`freeze` counting-sorts them into the final CSR, sorting and
+    de-duplicating each row.  With a declared node count, out-of-range
+    endpoints are rejected exactly like ``Digraph.add_arc``; without
+    one the node space grows to ``max endpoint + 1`` (use
+    :meth:`ensure_node` to widen it past the arcs, e.g. for isolated
+    trailing nodes).
+    """
+
+    __slots__ = ("_srcs", "_dsts", "_declared", "_max_node")
+
+    def __init__(self, num_nodes: int | None = None) -> None:
+        if num_nodes is not None and num_nodes < 0:
+            raise InvalidNodeError(f"number of nodes must be non-negative, got {num_nodes}")
+        self._srcs = array("q")
+        self._dsts = array("q")
+        self._declared = num_nodes
+        self._max_node = -1
+
+    @property
+    def num_nodes(self) -> int:
+        """The node count :meth:`freeze` will produce."""
+        if self._declared is not None:
+            return self._declared
+        return self._max_node + 1
+
+    def __len__(self) -> int:
+        """Arcs appended so far (duplicates not yet collapsed)."""
+        return len(self._srcs)
+
+    def ensure_node(self, node: int) -> None:
+        """Widen the frozen graph's node space to include ``node``."""
+        self._check(node)
+        if node > self._max_node:
+            self._max_node = node
+
+    def add_arc(self, src: int, dst: int) -> None:
+        """Append the arc (src, dst); duplicates collapse at freeze."""
+        self._check(src)
+        self._check(dst)
+        self._srcs.append(src)
+        self._dsts.append(dst)
+        if src > self._max_node:
+            self._max_node = src
+        if dst > self._max_node:
+            self._max_node = dst
+
+    def add_arcs(self, arcs: Iterable[tuple[int, int]]) -> None:
+        """Append every arc from ``arcs``."""
+        for src, dst in arcs:
+            self.add_arc(src, dst)
+
+    def freeze(self) -> Digraph:
+        """Counting-sort the arc columns into a frozen CSR graph.
+
+        The builder may be reused afterwards (the arrays are copied out
+        by the scatter pass), though callers typically discard it.
+        """
+        return graph_from_columns(self.num_nodes, self._srcs, self._dsts)
+
+    def _check(self, node: int) -> None:
+        if self._declared is not None:
+            if not 0 <= node < self._declared:
+                raise InvalidNodeError(
+                    f"node {node} outside the graph's range 0..{self._declared - 1}"
+                )
+        elif node < 0:
+            raise InvalidNodeError(f"node {node} outside the graph's range 0..")
+
+
+def graph_from_columns(num_nodes: int, srcs: array, dsts: array) -> Digraph:
+    """Counting-sort two flat arc columns into a frozen CSR graph.
+
+    ``srcs[i] -> dsts[i]`` are the arcs, already within ``0 ..
+    num_nodes - 1``; duplicates are collapsed.  This is the shared
+    freeze path of :class:`DigraphBuilder` and the streaming ingestion
+    loader (:mod:`repro.graphs.ingest`), which both accumulate arcs as
+    16 bytes per arc instead of per-node Python lists.  The input
+    columns are not modified.
+    """
+    offsets = array("q", bytes(8 * (num_nodes + 1)))
+    for src in srcs:
+        offsets[src + 1] += 1
+    for node in range(num_nodes):
+        offsets[node + 1] += offsets[node]
+    scattered = array("q", bytes(8 * len(dsts)))
+    cursor = array("q", offsets[:num_nodes])
+    for src, dst in zip(srcs, dsts):
+        scattered[cursor[src]] = dst
+        cursor[src] += 1
+    # Sort + de-duplicate each row in place, compacting with a write
+    # cursor (always <= the row being read, so no clobbering).
+    final_offsets = array("q", bytes(8 * (num_nodes + 1)))
+    write = 0
+    for node in range(num_nodes):
+        row = scattered[offsets[node] : offsets[node + 1]].tolist()
+        row.sort()
+        previous: int | None = None
+        for dst in row:
+            if dst != previous:
+                scattered[write] = dst
+                write += 1
+                previous = dst
+        final_offsets[node + 1] = write
+    return Digraph._from_csr(num_nodes, final_offsets, scattered[:write])

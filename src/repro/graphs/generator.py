@@ -6,9 +6,11 @@ the number of nodes ``n``, the average out-degree ``F`` and the
 
 * The out-degree of each node is drawn uniformly from ``[0, 2F]``.
 * Arcs out of node ``i`` go to uniformly chosen higher-numbered nodes in
-  the range ``[i+1, min(i+l, n)]`` (the paper numbers nodes from 1; with
-  0-based ids the range is ``[i+1, min(i+l, n-1)]``), which makes the
-  graph acyclic by construction.
+  the inclusive range ``[i+1, min(i+l, n-1)]`` -- this is the 0-based
+  form of the paper's 1-based ``[i+1, min(i+l, n)]``; the last node
+  (``n-1`` here, ``n`` in the paper) is always an admissible target and
+  never a source.  Arcs only ever point forward, which makes the graph
+  acyclic by construction.
 * Duplicate arcs are eliminated, and the locality bounds the achievable
   out-degree (footnote 1 of the paper), so the realised arc count can be
   below ``n * F`` -- especially for G10 (F=50, l=20).
@@ -18,9 +20,10 @@ from __future__ import annotations
 
 import math
 import random
+from collections.abc import Iterator
 
 from repro.errors import ConfigurationError
-from repro.graphs.digraph import Digraph
+from repro.graphs.digraph import Digraph, DigraphBuilder
 
 
 def _require_int(name: str, value: object) -> int:
@@ -74,10 +77,52 @@ def generate_dag(
     if locality < 1:
         raise ConfigurationError(f"locality must be at least 1, got {locality}")
 
+    builder = DigraphBuilder(num_nodes)
+    builder.add_arcs(iter_paper_arcs(num_nodes, avg_out_degree, locality, seed=seed))
+    return builder.freeze()
+
+
+def iter_paper_arcs(
+    num_nodes: int,
+    avg_out_degree: float,
+    locality: int,
+    seed: int | None = None,
+) -> Iterator[tuple[int, int]]:
+    """Stream the arcs of :func:`generate_dag` without building the graph.
+
+    Yields the exact (source, target) sequence ``generate_dag`` feeds
+    its builder -- same parameters and seed, same pseudo-random draws,
+    same arcs -- so a graph streamed to disk (see
+    :mod:`repro.graphs.ingest`) and one generated in memory are
+    identical.  Parameter validation happens eagerly, before the first
+    arc is drawn.
+    """
+    num_nodes = _require_int("num_nodes", num_nodes)
+    locality = _require_int("locality", locality)
+    if num_nodes <= 0:
+        raise ConfigurationError(f"num_nodes must be positive, got {num_nodes}")
+    if isinstance(avg_out_degree, bool) or not isinstance(avg_out_degree, (int, float)):
+        raise ConfigurationError(
+            f"avg_out_degree must be a number, got {avg_out_degree!r} "
+            f"({type(avg_out_degree).__name__})"
+        )
+    if not math.isfinite(avg_out_degree):
+        raise ConfigurationError(f"avg_out_degree must be finite, got {avg_out_degree!r}")
+    if avg_out_degree < 0:
+        raise ConfigurationError(f"avg_out_degree must be non-negative, got {avg_out_degree}")
+    if locality < 1:
+        raise ConfigurationError(f"locality must be at least 1, got {locality}")
+    return _paper_arc_stream(num_nodes, avg_out_degree, locality, seed)
+
+
+def _paper_arc_stream(
+    num_nodes: int,
+    avg_out_degree: float,
+    locality: int,
+    seed: int | None,
+) -> Iterator[tuple[int, int]]:
     rng = random.Random(seed)
     max_degree = int(round(2 * avg_out_degree))
-    graph = Digraph(num_nodes)
-
     for node in range(num_nodes):
         last_target = min(node + locality, num_nodes - 1)
         window = last_target - node  # number of admissible targets
@@ -92,6 +137,4 @@ def generate_dag(
         else:
             targets = rng.sample(range(node + 1, last_target + 1), wanted)
         for target in targets:
-            graph.add_arc(node, target)
-
-    return graph
+            yield node, target

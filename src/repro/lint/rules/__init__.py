@@ -11,6 +11,7 @@ from repro.lint.rules.counters import CounterDisciplineRule
 from repro.lint.rules.determinism import DeterminismRule
 from repro.lint.rules.exceptions import ExceptionHygieneRule
 from repro.lint.rules.fsync import FsyncDisciplineRule
+from repro.lint.rules.scale import ScaleHygieneRule
 from repro.lint.rules.seam import SeamIsolationRule
 
 ALL_RULES: tuple[type[Rule], ...] = (
@@ -20,6 +21,7 @@ ALL_RULES: tuple[type[Rule], ...] = (
     CapabilityGuardRule,
     ExceptionHygieneRule,
     FsyncDisciplineRule,
+    ScaleHygieneRule,
 )
 
 

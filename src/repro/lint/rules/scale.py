@@ -1,0 +1,181 @@
+"""RPL007: scale hygiene on graph-sized hot paths.
+
+The CSR refactor exists because per-node Python containers cost ~100
+bytes per node where a flat ``array('q')`` costs 8; at the ingestion
+scale (100k+ nodes, 1M+ arcs) the difference decides whether a build
+fits in memory.  The regression this rule guards against is the easy
+one: a loop over every node or arc of a graph that accumulates into a
+dict keyed by node id --
+
+    for src, dst in graph.arcs():
+        adjacency.setdefault(src, []).append(dst)
+
+-- rebuilding exactly the per-node-list structure the CSR core retired.
+On a graph-sized path that should be flat arc columns fed to
+``graph_from_columns`` (or the graph's own zero-copy
+``adjacency_rows()``).
+
+The rule only fires when the *enclosing loop* visibly iterates a
+graph-scale source: a ``.arcs()`` or ``.nodes()`` call, a ``range()``
+over a ``num_nodes``-derived bound, or an iterable named ``arcs``.
+Node-keyed dicts built from bounded or derived iterables (a chain
+``order``, a frontier, a query's source set) are idiomatic and stay
+clean.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from repro.lint.framework import FileContext, Finding, Rule
+
+SCOPE_DEFAULT = (
+    "repro.core",
+    "repro.graphs",
+)
+
+GRAPH_SCALE_METHODS = ("arcs", "nodes")
+
+ARCS_NAMES = ("arcs",)
+
+
+class ScaleHygieneRule(Rule):
+    code = "RPL007"
+    name = "scale-hygiene"
+    summary = (
+        "no per-node dict/list accumulators in loops over every node "
+        "or arc of a graph; use flat arc columns or CSR rows"
+    )
+
+    def __init__(self) -> None:
+        self.modules: tuple[str, ...] = SCOPE_DEFAULT
+
+    # -- graph-scale loop detection -------------------------------------------
+
+    def _is_graph_scale_iter(self, node: ast.expr) -> bool:
+        """Whether a loop iterable visibly ranges over a whole graph."""
+        # graph.arcs() / graph.nodes() -- any receiver.
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in GRAPH_SCALE_METHODS
+            and not node.args
+        ):
+            return True
+        # range(...) with a num_nodes-derived bound.
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "range"
+            and any(self._mentions_num_nodes(arg) for arg in node.args)
+        ):
+            return True
+        # A bare iterable named like an arc stream.
+        if isinstance(node, ast.Name) and node.id in ARCS_NAMES:
+            return True
+        return False
+
+    @staticmethod
+    def _mentions_num_nodes(node: ast.expr) -> bool:
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Attribute) and sub.attr == "num_nodes":
+                return True
+            if isinstance(sub, ast.Name) and sub.id == "num_nodes":
+                return True
+        return False
+
+    @staticmethod
+    def _loop_targets(target: ast.expr) -> set[str]:
+        """The names the for-loop binds (``src, dst`` unpacks both)."""
+        return {
+            sub.id for sub in ast.walk(target) if isinstance(sub, ast.Name)
+        }
+
+    @staticmethod
+    def _keyed_by(node: ast.expr, loop_vars: set[str]) -> bool:
+        """Whether a key expression is (derived from) a loop variable."""
+        return any(
+            isinstance(sub, ast.Name) and sub.id in loop_vars
+            for sub in ast.walk(node)
+        )
+
+    # -- the check -------------------------------------------------------------
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        if not self.applies_to(ctx.module, self.modules):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.For):
+                continue
+            if not self._is_graph_scale_iter(node.iter):
+                continue
+            loop_vars = self._loop_targets(node.target)
+            for stmt in node.body:
+                for sub in ast.walk(stmt):
+                    yield from self._check_accumulator(ctx, sub, loop_vars)
+
+    def _check_accumulator(
+        self, ctx: FileContext, node: ast.AST, loop_vars: set[str]
+    ) -> Iterable[Finding]:
+        # acc.setdefault(node_id, ...) -- the canonical adjacency build.
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "setdefault"
+            and isinstance(node.func.value, ast.Name)
+            and node.args
+            and self._keyed_by(node.args[0], loop_vars)
+        ):
+            yield self.finding(
+                ctx,
+                node,
+                f"per-node dict accumulator "
+                f"{node.func.value.id}.setdefault({ast.unparse(node.args[0])}, "
+                f"...) in a loop over every node/arc; accumulate flat arc "
+                f"columns and build with graph_from_columns (or read the "
+                f"graph's zero-copy adjacency_rows())",
+            )
+            return
+        # acc[node_id].append(...) / acc[node_id] = [...] container writes.
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in ("append", "add", "extend")
+            and isinstance(node.func.value, ast.Subscript)
+            and isinstance(node.func.value.value, ast.Name)
+            and self._keyed_by(node.func.value.slice, loop_vars)
+        ):
+            yield self.finding(
+                ctx,
+                node,
+                f"per-node container write "
+                f"{ast.unparse(node.func.value)}.{node.func.attr}(...) in a "
+                f"loop over every node/arc; accumulate flat arc columns and "
+                f"build with graph_from_columns",
+            )
+            return
+        if (
+            isinstance(node, ast.Assign)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Subscript)
+            and isinstance(node.targets[0].value, ast.Name)
+            and self._keyed_by(node.targets[0].slice, loop_vars)
+            and self._is_container_expr(node.value)
+        ):
+            yield self.finding(
+                ctx,
+                node,
+                f"per-node container {ast.unparse(node.targets[0])} = "
+                f"{type(node.value).__name__.lower()} in a loop over every "
+                f"node/arc; use flat arrays sized to num_nodes instead of a "
+                f"container per node",
+            )
+
+    @staticmethod
+    def _is_container_expr(node: ast.expr) -> bool:
+        if isinstance(node, (ast.List, ast.Set, ast.Dict, ast.ListComp, ast.SetComp, ast.DictComp)):
+            return True
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            return node.func.id in ("list", "set", "dict")
+        return False

@@ -43,7 +43,7 @@ from __future__ import annotations
 
 import os
 from abc import ABC, abstractmethod
-from typing import TYPE_CHECKING, Any, Iterable
+from typing import TYPE_CHECKING, Any, Iterable, Sequence
 
 from repro.errors import ConfigurationError, EngineCapabilityError
 from repro.storage.page import (
@@ -249,11 +249,15 @@ class StorageEngine(ABC):
         """Sequentially read the whole arc relation; return pages touched."""
 
     @abstractmethod
-    def read_successors(self, node: int) -> list[int]:
-        """Fetch ``node``'s successors (charging the clustered-index path)."""
+    def read_successors(self, node: int) -> Sequence[int]:
+        """Fetch ``node``'s successors (charging the clustered-index path).
+
+        The row is read-only (a zero-copy CSR view on the fast engine);
+        callers that need to mutate it must copy it first.
+        """
 
     @abstractmethod
-    def read_predecessors(self, node: int) -> list[int]:
+    def read_predecessors(self, node: int) -> Sequence[int]:
         """Fetch ``node``'s predecessors via the inverse relation (JKB2)."""
 
     @abstractmethod

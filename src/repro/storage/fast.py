@@ -25,7 +25,8 @@ and the golden-record tests.
 from __future__ import annotations
 
 import sys
-from typing import TYPE_CHECKING, Any, Iterable
+from array import array
+from typing import TYPE_CHECKING, Any, Iterable, Sequence
 
 from repro.chaos.audit import explicit_audit_mode
 from repro.chaos.faults import STORAGE_FAULT_KINDS, active_plan
@@ -49,36 +50,59 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.storage.trace import PageTrace
 
 
+_ABSENT = -1
+"""Sentinel length meaning "no list exists for this node id"."""
+
+
 class FastListStore(ListStore):
-    """Length-only successor lists: a dict, no pages, no blocks.
+    """Length-only successor lists: a flat array, no pages, no blocks.
 
     The algorithms keep list *contents* themselves (bitsets/trees); the
     paged store tracks layout so page touches can be charged.  With no
     page costs to model, only the lengths remain -- they feed the
-    tuple-I/O accounting shared by both engines.
+    tuple-I/O accounting shared by both engines.  Node ids are the
+    dense ``0..n-1`` space of the graph, so lengths live in one
+    ``array('q')`` indexed by node (``-1`` = absent) instead of a
+    dict -- no per-entry boxing, and sizing it up front from the
+    graph's node count makes list creation allocation-free.
     """
 
-    def __init__(self, block_capacity: int = BLOCK_CAPACITY) -> None:
+    def __init__(self, block_capacity: int = BLOCK_CAPACITY, capacity: int = 0) -> None:
         self.block_capacity = block_capacity
-        self._lengths: dict[int, int] = {}
+        self._lengths = array("q", [_ABSENT]) * capacity
+        self._count = 0
 
     def __contains__(self, node: int) -> bool:
-        return node in self._lengths
+        lengths = self._lengths
+        return 0 <= node < len(lengths) and lengths[node] != _ABSENT
+
+    def _grow_to(self, node: int) -> None:
+        """Widen the length array to cover ``node`` (amortised doubling)."""
+        needed = node + 1
+        grown = max(needed, 2 * len(self._lengths))
+        self._lengths.extend(array("q", [_ABSENT]) * (grown - len(self._lengths)))
 
     def create_list(self, node: int, initial_entries: int = 0) -> None:
-        if node in self._lengths:
+        if node < 0:
+            raise StorageError(f"node id must be non-negative, got {node}")
+        if node >= len(self._lengths):
+            self._grow_to(node)
+        elif self._lengths[node] != _ABSENT:
             raise StorageError(f"list for node {node} already exists")
         self._lengths[node] = initial_entries
+        self._count += 1
 
     def read_list(self, node: int) -> int:
         # The existence check is inlined (no _require call): these are
         # the hottest store entry points under the fast engine.
-        if node not in self._lengths:
+        lengths = self._lengths
+        if not 0 <= node < len(lengths) or lengths[node] == _ABSENT:
             raise StorageError(f"no successor list exists for node {node}")
         return 0
 
     def read_blocks(self, node: int, block_indexes: list[int]) -> int:
-        if node not in self._lengths:
+        lengths = self._lengths
+        if not 0 <= node < len(lengths) or lengths[node] == _ABSENT:
             raise StorageError(f"no successor list exists for node {node}")
         return 0
 
@@ -86,20 +110,32 @@ class FastListStore(ListStore):
         if count <= 0:
             return
         lengths = self._lengths
-        if node not in lengths:
+        if not 0 <= node < len(lengths) or lengths[node] == _ABSENT:
             raise StorageError(f"no successor list exists for node {node}")
         lengths[node] += count
 
     def rewrite_list(self, node: int, new_length: int) -> None:
-        if node not in self._lengths:
+        lengths = self._lengths
+        if not 0 <= node < len(lengths) or lengths[node] == _ABSENT:
             raise StorageError(f"no successor list exists for node {node}")
-        self._lengths[node] = new_length
+        lengths[node] = new_length
 
     def drop_list(self, node: int) -> None:
-        self._lengths.pop(node, None)
+        lengths = self._lengths
+        if 0 <= node < len(lengths) and lengths[node] != _ABSENT:
+            lengths[node] = _ABSENT
+            self._count -= 1
 
     def length(self, node: int) -> int:
-        return self._lengths.get(node, 0)
+        lengths = self._lengths
+        if 0 <= node < len(lengths) and lengths[node] != _ABSENT:
+            return lengths[node]
+        return 0
+
+    @property
+    def list_count(self) -> int:
+        """How many lists currently exist."""
+        return self._count
 
     def pages_of(self, node: int) -> tuple[PageId, ...]:
         return ()  # shared empty tuple: no layout, no allocation
@@ -120,10 +156,10 @@ class FastListStore(ListStore):
         return 0
 
     def _require(self, node: int) -> int:
-        length = self._lengths.get(node)
-        if length is None:
+        lengths = self._lengths
+        if not 0 <= node < len(lengths) or lengths[node] == _ABSENT:
             raise StorageError(f"no successor list exists for node {node}")
-        return length
+        return lengths[node]
 
 
 class FastEngine(StorageEngine):
@@ -165,7 +201,7 @@ class FastEngine(StorageEngine):
         self.relation = None
         self.inverse_relation = None
         self.store: FastListStore = FastListStore(
-            block_capacity=system.block_capacity
+            block_capacity=system.block_capacity, capacity=graph.num_nodes
         )
 
     # -- relation access paths ----------------------------------------------
@@ -173,10 +209,10 @@ class FastEngine(StorageEngine):
     def scan_relation(self) -> int:
         return 0
 
-    def read_successors(self, node: int) -> list[int]:
+    def read_successors(self, node: int) -> Sequence[int]:
         return self.graph.successors(node)
 
-    def read_predecessors(self, node: int) -> list[int]:
+    def read_predecessors(self, node: int) -> Sequence[int]:
         return self.graph.predecessors(node)
 
     def probe_arcs_unclustered(self, node_arcs: int, seed_position: int) -> None:
@@ -193,7 +229,7 @@ class FastEngine(StorageEngine):
         block_capacity: int | None = None,
     ) -> FastListStore:
         # No page simulation: the block geometry has nothing to shape.
-        return FastListStore()
+        return FastListStore(capacity=self.graph.num_nodes)
 
     # -- page-level cost hooks (all free) ------------------------------------
 
@@ -231,7 +267,10 @@ class FastEngine(StorageEngine):
         """No paged substrate to inspect: auditing is a no-op here."""
 
     def snapshot(self) -> dict[str, Any]:
-        return {"engine": self.name, "lists": len(self.store._lengths)}
+        return {"engine": self.name, "lists": self.store.list_count}
 
     def reset(self) -> None:
-        self.store = FastListStore(block_capacity=self.system.block_capacity)
+        self.store = FastListStore(
+            block_capacity=self.system.block_capacity,
+            capacity=self.graph.num_nodes,
+        )

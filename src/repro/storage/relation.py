@@ -51,14 +51,12 @@ class ArcRelation:
         self.kind = kind
         self.index_kind = index_kind
         # offsets[v] = position of node v's first tuple in the file.
-        self._offsets = [0] * (graph.num_nodes + 1)
-        running = 0
-        for node in graph.nodes():
-            self._offsets[node] = running
-            running += graph.out_degree(node)
-        self._offsets[graph.num_nodes] = running
-        self.num_tuples = running
-        self.num_pages = pages_needed(running, TUPLES_PER_PAGE)
+        # The graph's CSR row offsets are exactly this layout (arcs
+        # clustered on source, sorted), so the relation shares them
+        # zero-copy instead of re-deriving them per node.
+        self._offsets = graph.csr_offsets
+        self.num_tuples = self._offsets[graph.num_nodes]
+        self.num_pages = pages_needed(self.num_tuples, TUPLES_PER_PAGE)
         self.num_index_leaves = pages_needed(graph.num_nodes, INDEX_ENTRIES_PER_PAGE)
 
     # -- layout ------------------------------------------------------------

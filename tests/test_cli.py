@@ -1,6 +1,7 @@
 """Tests for the command line front end."""
 
 import json
+from pathlib import Path
 
 import pytest
 
@@ -216,6 +217,50 @@ class TestChainsProbes:
         err = capsys.readouterr().err
         assert "expected 'U:V'" in err
         assert "Traceback" not in err
+
+
+class TestIngestCommand:
+    FIXTURES = Path(__file__).parent / "fixtures" / "ingest"
+
+    def test_stats_on_checked_in_fixture(self, capsys):
+        assert main(["ingest", str(self.FIXTURES / "tiny.snap"), "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "duplicate_arcs: 1" in out
+        assert "self_loops: 1" in out
+        assert "nodes=6 arcs=5" in out
+
+    def test_build_index_verifies_probes_on_both_engines(self, capsys):
+        path = str(self.FIXTURES / "braid_small.snap.gz")
+        for engine in ("fast", "paged"):
+            code = main(["ingest", path, "--build-index", "--engine", engine,
+                         "--probes", "50", "-q"])
+            assert code == 0
+            out = capsys.readouterr().out
+            assert "verified=ok" in out
+            assert "k=" in out
+
+    def test_emit_json_payload(self, tmp_path, capsys):
+        out_file = tmp_path / "ingest.json"
+        code = main(["ingest", str(self.FIXTURES / "tiny.snap"),
+                     "--build-index", "--engine", "fast",
+                     "--emit-json", str(out_file), "-q"])
+        assert code == 0
+        payload = json.loads(out_file.read_text())
+        assert payload["stats"]["nodes"] == 6
+        assert payload["index"]["probe_failures"] == 0
+        assert payload["peak_rss_mb"] > 0
+
+    def test_missing_file_exits_one_without_traceback(self, capsys):
+        assert main(["ingest", "does-not-exist.snap"]) == 1
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "Traceback" not in err
+
+    def test_malformed_file_exits_one_with_line_number(self, tmp_path, capsys):
+        bad = tmp_path / "bad.snap"
+        bad.write_text("0 1\noops\n")
+        assert main(["ingest", str(bad)]) == 1
+        assert "line 2" in capsys.readouterr().err
 
 
 class TestServeCommand:

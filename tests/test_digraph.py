@@ -1,9 +1,11 @@
 """Tests for the Digraph type."""
 
+import pickle
+
 import pytest
 
 from repro.errors import InvalidNodeError
-from repro.graphs.digraph import Digraph
+from repro.graphs.digraph import ArcView, Digraph, DigraphBuilder
 
 
 class TestConstruction:
@@ -90,3 +92,117 @@ class TestTransforms:
         a = Digraph.from_arcs(3, [(0, 1), (1, 2)])
         b = Digraph.from_arcs(3, [(1, 2), (0, 1)])
         assert a == b
+
+
+class TestStructuralImmutability:
+    """The old aliasing footgun: ``successors()`` used to hand back the
+    graph's own mutable list, so ``graph.successors(u).append(v)``
+    silently corrupted the graph.  CSR rows are read-only views; every
+    mutation attempt must raise."""
+
+    def test_successors_rejects_item_assignment(self):
+        graph = Digraph.from_arcs(3, [(0, 1), (0, 2)])
+        row = graph.successors(0)
+        with pytest.raises(TypeError):
+            row[0] = 9
+
+    def test_successors_has_no_list_mutators(self):
+        graph = Digraph.from_arcs(3, [(0, 1), (0, 2)])
+        row = graph.successors(0)
+        for method in ("append", "extend", "insert", "pop", "remove", "clear", "sort"):
+            assert not hasattr(row, method)
+
+    def test_mutation_attempt_does_not_corrupt_graph(self):
+        graph = Digraph.from_arcs(3, [(0, 1), (0, 2)])
+        with pytest.raises(TypeError):
+            graph.successors(0)[1] = 0
+        assert list(graph.successors(0)) == [1, 2]
+        assert graph.num_arcs == 2
+
+    def test_predecessors_are_read_only_too(self):
+        graph = Digraph.from_arcs(3, [(0, 2), (1, 2)])
+        with pytest.raises(TypeError):
+            graph.predecessors(2)[0] = 9
+
+    def test_adjacency_rows_are_read_only(self):
+        graph = Digraph.from_arcs(3, [(0, 1), (1, 2)])
+        rows = graph.adjacency_rows()
+        with pytest.raises(TypeError):
+            rows[0][0] = 9
+
+    def test_adjacency_lists_copies_are_independent(self):
+        # The sanctioned mutable escape hatch: fresh lists, not aliases.
+        graph = Digraph.from_arcs(3, [(0, 1), (1, 2)])
+        lists = graph.adjacency_lists()
+        lists[0].append(99)
+        assert list(graph.successors(0)) == [1]
+        assert graph.adjacency_lists()[0] == [1]
+
+    def test_rows_stay_valid_across_add_arc(self):
+        graph = Digraph.from_arcs(3, [(0, 1)])
+        row = graph.successors(0)
+        graph.add_arc(0, 2)
+        # The old view keeps its snapshot; a fresh read sees the arc.
+        assert list(row) == [1]
+        assert list(graph.successors(0)) == [1, 2]
+
+
+class TestArcView:
+    def test_equality_with_lists_and_tuples(self):
+        graph = Digraph.from_arcs(3, [(0, 1), (0, 2)])
+        row = graph.successors(0)
+        assert row == [1, 2]
+        assert row == (1, 2)
+        assert row != [1]
+        assert row == graph.successors(0)
+
+    def test_contains_and_slicing(self):
+        graph = Digraph.from_arcs(6, [(0, 1), (0, 3), (0, 5)])
+        row = graph.successors(0)
+        assert 3 in row and 4 not in row
+        assert isinstance(row[1:], ArcView)
+        assert list(row[1:]) == [3, 5]
+        assert row[-1] == 5
+
+    def test_hashable(self):
+        graph = Digraph.from_arcs(3, [(0, 1), (0, 2)])
+        assert hash(graph.successors(0)) == hash((1, 2))
+
+
+class TestBuilder:
+    def test_freeze_deduplicates_and_sorts(self):
+        builder = DigraphBuilder(4)
+        builder.add_arcs([(2, 3), (0, 2), (0, 1), (0, 2)])
+        graph = builder.freeze()
+        assert list(graph.arcs()) == [(0, 1), (0, 2), (2, 3)]
+
+    def test_growable_builder_tracks_max_node(self):
+        builder = DigraphBuilder()
+        builder.add_arc(0, 7)
+        builder.ensure_node(9)
+        assert builder.num_nodes == 10
+        assert builder.freeze().num_nodes == 10
+
+    def test_declared_size_rejects_out_of_range(self):
+        builder = DigraphBuilder(3)
+        with pytest.raises(InvalidNodeError):
+            builder.add_arc(0, 3)
+
+    def test_negative_node_rejected(self):
+        builder = DigraphBuilder()
+        with pytest.raises(InvalidNodeError):
+            builder.add_arc(-1, 0)
+
+    def test_builder_matches_from_arcs(self):
+        arcs = [(0, 1), (1, 2), (0, 2), (3, 0)]
+        builder = DigraphBuilder(4)
+        builder.add_arcs(arcs)
+        assert builder.freeze() == Digraph.from_arcs(4, arcs)
+
+
+class TestPickle:
+    def test_round_trip(self):
+        graph = Digraph.from_arcs(4, [(0, 1), (1, 2), (2, 3), (0, 3)])
+        clone = pickle.loads(pickle.dumps(graph))
+        assert clone == graph
+        assert list(clone.successors(0)) == [1, 3]

@@ -96,6 +96,25 @@ class TestStructure:
         assert graph.num_nodes == 1
         assert graph.num_arcs == 0
 
+    def test_target_window_boundary_when_locality_overruns(self):
+        # The docstring's target range is the 0-based
+        # [i+1, min(i+l, n-1)]: when i + l >= n the window is clipped
+        # at the last node, which stays an admissible target -- and
+        # nothing past it ever appears.
+        n, locality = 10, 100
+        graph = generate_dag(n, n, locality, seed=11)  # F=n forces full windows
+        for node in range(n - 1):
+            # With max_degree = 2n > window the generator takes every
+            # admissible target, so the realised row IS the window.
+            assert list(graph.successors(node)) == list(range(node + 1, n))
+        assert graph.out_degree(n - 1) == 0  # last node: empty window
+
+    def test_last_node_is_reachable_as_target(self):
+        # The clipped window must include n-1 itself (an off-by-one
+        # here silently shrinks every boundary window).
+        graph = generate_dag(5, 10, 4, seed=12)
+        assert graph.in_degree(4) > 0
+
 
 class TestDeterminism:
     def test_same_seed_same_graph(self):

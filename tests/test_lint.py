@@ -20,6 +20,7 @@ from repro.lint.rules.counters import CounterDisciplineRule
 from repro.lint.rules.determinism import DeterminismRule
 from repro.lint.rules.exceptions import ExceptionHygieneRule
 from repro.lint.rules.fsync import FsyncDisciplineRule
+from repro.lint.rules.scale import ScaleHygieneRule
 from repro.lint.rules.seam import SeamIsolationRule
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
@@ -484,6 +485,74 @@ class TestFsyncDiscipline:
         assert codes(findings) == ["RPL006"]
 
 
+class TestScaleHygiene:
+    def test_setdefault_adjacency_build_is_flagged(self):
+        source = """\
+            for src, dst in graph.arcs():
+                adjacency.setdefault(src, []).append(dst)
+        """
+        findings = run(source, ScaleHygieneRule())
+        assert codes(findings) == ["RPL007"]
+        assert "graph_from_columns" in findings[0].message
+
+    def test_subscript_append_over_nodes_is_flagged(self):
+        source = """\
+            for i in range(graph.num_nodes):
+                rows[i].append(i + 1)
+        """
+        assert codes(run(source, ScaleHygieneRule())) == ["RPL007"]
+
+    def test_container_per_node_is_flagged(self):
+        source = """\
+            for node in graph.nodes():
+                children[node] = []
+        """
+        assert codes(run(source, ScaleHygieneRule())) == ["RPL007"]
+
+    def test_arcs_named_iterable_is_flagged(self):
+        source = """\
+            for src, dst in arcs:
+                preds.setdefault(dst, set()).add(src)
+        """
+        assert codes(run(source, ScaleHygieneRule())) == ["RPL007"]
+
+    def test_bounded_iterable_stays_clean(self):
+        # The chains.py idiom: keyed accumulation over a *derived*
+        # order, not a whole-graph sweep.
+        source = """\
+            for node in order:
+                predecessors.setdefault(node, []).append(node)
+        """
+        assert run(source, ScaleHygieneRule()) == []
+
+    def test_flat_column_accumulation_stays_clean(self):
+        # The sanctioned fix: flat arc columns, no per-node containers.
+        source = """\
+            for src, dst in graph.arcs():
+                srcs.append(src)
+                dsts.append(dst)
+        """
+        assert run(source, ScaleHygieneRule()) == []
+
+    def test_scalar_per_node_stays_clean(self):
+        source = """\
+            for node in graph.nodes():
+                level[node] = 0
+        """
+        assert run(source, ScaleHygieneRule()) == []
+
+    def test_other_modules_are_out_of_scope(self):
+        source = """\
+            for src, dst in graph.arcs():
+                adjacency.setdefault(src, []).append(dst)
+        """
+        findings = lint_source(
+            textwrap.dedent(source), [ScaleHygieneRule()],
+            module="repro.report.export",
+        )
+        assert findings == []
+
+
 class TestSuppression:
     def test_inline_disable_by_code(self):
         source = "metrics.duplicates += 1  # repro-lint: disable=RPL003\n"
@@ -589,7 +658,7 @@ class TestConfigAndSelection:
         rules = make_rules(LintConfig(ignore=["RPL002", "RPL006"]))
         assert "RPL002" not in [r.code for r in rules]
         assert "RPL006" not in [r.code for r in rules]
-        assert len(rules) == 4
+        assert len(rules) == 5
 
     def test_per_rule_options_reach_the_rule(self):
         from repro.lint.config import LintConfig
@@ -649,7 +718,8 @@ class TestCli:
     def test_list_rules(self, capsys):
         assert main(["--list-rules"]) == EXIT_CLEAN
         out = capsys.readouterr().out
-        for code in ("RPL001", "RPL002", "RPL003", "RPL004", "RPL005", "RPL006"):
+        for code in ("RPL001", "RPL002", "RPL003", "RPL004", "RPL005", "RPL006",
+                     "RPL007"):
             assert code in out
 
 
