@@ -681,9 +681,14 @@ def _serve_command(args: argparse.Namespace) -> int:
 
     service = ReachabilityService(graph, sources, config, serve_config)
     try:
-        return asyncio.run(_serve_main(args, graph, service, probes))
+        code = asyncio.run(_serve_main(args, graph, service, probes))
     except KeyboardInterrupt:
         return 0
+    # Emitted here, after the event loop has exited: JsonlSink fsyncs
+    # every record, and a synchronous fsync inside an async handler
+    # stalls the whole loop (RPL009).
+    _emit_serve_record(args, service)
+    return code
 
 
 def _emit_serve_record(args: argparse.Namespace, service: object) -> None:
@@ -722,7 +727,6 @@ async def _serve_main(args: argparse.Namespace, graph: Digraph,
                   f"verified={verdict}")
             if answer["reachable"] != expected:
                 failures += 1
-        _emit_serve_record(args, service)
         return 1 if failures else 0
 
     if args.self_check is not None:
@@ -797,7 +801,6 @@ async def _serve_self_check(args: argparse.Namespace, graph: Digraph,
           f"({non_ok} non-200), wrong={wrong}, state={service.state}, "
           f"healthz={'ok' if health_ok else 'FAIL'}, "
           f"readyz={'ok' if ready_ok else 'FAIL'} on {server.endpoint}")
-    _emit_serve_record(args, service)
     if wrong or not health_ok or not ready_ok:
         return 1
     # Without chaos armed, every query must have been answered outright.

@@ -170,10 +170,13 @@ class HybridAlgorithm(TwoPhaseAlgorithm):
                 arcs_marked=arcs_marked,
                 unmarked_locality_total=locality,
             )
-
-        if can_pin:
-            for page in pinned:
-                ctx.engine.unpin_page(page)
+            # The unpin sweep must run on the exception path too: a
+            # BufferPoolExhaustedError that escapes reblock() would
+            # otherwise leave the whole diagonal block pinned, silently
+            # shrinking the pool for everything that runs after it.
+            if can_pin:
+                for page in pinned:
+                    ctx.engine.unpin_page(page)
 
     def _guarded_union(self, ctx, node, child, reblock, pin_list) -> None:
         """A union that shrinks the block when memory pressure builds.

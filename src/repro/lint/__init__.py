@@ -19,7 +19,18 @@ RPL004    capability guards -- page-cost/pinning engine hooks are dominated
           by a ``CAP_*`` check
 RPL005    exception hygiene -- no bare/swallowed ``except`` on chaos paths
 RPL006    fsync discipline -- journal/sink writes flush and fsync
+RPL007    scale hygiene -- whole-graph sweeps must not rebuild per-node
+          Python containers the CSR core retired
+RPL008    resource lifecycle -- flow-sensitive: every pin/handle acquire
+          is released on every path out, exception edges included
+RPL009    async hygiene -- no blocking calls, un-awaited coroutines or
+          dropped task results inside serve-path ``async def``
+RPL010    fork safety -- pool-submitted callables carry no live
+          resources; worker-read module state has a reset hook
 ========  ==================================================================
+
+RPL008-010 run on an intra-procedural CFG (:mod:`repro.lint.cfg`) with
+a gen/kill dataflow solver (:mod:`repro.lint.dataflow`).
 
 Run it as ``python -m repro.lint [paths]`` or via the ``repro-lint``
 console script.  Findings can be suppressed inline with

@@ -1,0 +1,155 @@
+"""Per-file result caching for the lint CLI.
+
+Dataflow rules cost real CPU (a CFG and a fixpoint per function), and
+the rule set only grows.  The cache keeps the full-rule CI leg flat:
+a JSON file maps every linted path to the SHA-256 of its content plus
+the findings and suppression count that content produced, so an
+unchanged file is a dictionary lookup instead of a parse + solve.
+
+Correctness hinges on the **signature**: a digest of the enabled rule
+codes, their configured options, *and the analyzer's own sources*
+(every ``repro/lint/**/*.py``).  Editing a rule, reordering options or
+touching the CFG builder changes the signature and discards the whole
+cache -- stale results cannot survive an analyzer change.  Cached
+findings are stored pre-baseline: baseline subtraction happens at
+report time, so rewriting the baseline never needs a cache flush.
+
+A missing, unreadable or corrupt cache file degrades to a cold run --
+the cache is a pure accelerator, never a gate.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+from repro.lint.framework import Finding, Rule
+
+
+def content_hash(source: bytes) -> str:
+    return hashlib.sha256(source).hexdigest()
+
+
+def rules_signature(rules: list[Rule] | tuple[Rule, ...]) -> str:
+    """Digest of the rule set, its options, and the analyzer sources."""
+    digest = hashlib.sha256()
+    for rule in sorted(rules, key=lambda r: r.code):
+        digest.update(rule.code.encode())
+        options = {
+            key: value
+            for key, value in sorted(vars(rule).items())
+            if not key.startswith("_")
+        }
+        digest.update(repr(options).encode())
+    package_root = Path(__file__).resolve().parent
+    for source in sorted(package_root.rglob("*.py")):
+        digest.update(str(source.relative_to(package_root)).encode())
+        try:
+            digest.update(source.read_bytes())
+        except OSError:  # pragma: no cover - racing an install/cleanup
+            digest.update(b"?")
+    return digest.hexdigest()
+
+
+class LintCache:
+    """A content-hash keyed map of per-file lint results."""
+
+    VERSION = 1
+
+    def __init__(self, path: str | Path, signature: str) -> None:
+        self.path = Path(path)
+        self.signature = signature
+        self.entries: dict[str, dict[str, object]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    @classmethod
+    def load(cls, path: str | Path, signature: str) -> "LintCache":
+        cache = cls(path, signature)
+        try:
+            payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return cache
+        if (
+            not isinstance(payload, dict)
+            or payload.get("version") != cls.VERSION
+            or payload.get("signature") != signature
+        ):
+            return cache
+        entries = payload.get("entries")
+        if isinstance(entries, dict):
+            cache.entries = entries
+        return cache
+
+    def save(self) -> None:
+        payload = {
+            "version": self.VERSION,
+            "signature": self.signature,
+            "entries": self.entries,
+        }
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.path.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+
+    # -- per-file results ------------------------------------------------------
+
+    def lookup(
+        self, path: str, source: bytes
+    ) -> tuple[list[Finding], int] | None:
+        """Hash-and-get convenience used by ``lint_paths``."""
+        return self.get(path, content_hash(source))
+
+    def store(
+        self,
+        path: str,
+        source: bytes,
+        findings: list[Finding],
+        suppressed: int,
+    ) -> None:
+        self.put(path, content_hash(source), findings, suppressed)
+
+    def get(
+        self, path: str, digest: str
+    ) -> tuple[list[Finding], int] | None:
+        """Cached (findings, suppressed-count) for this exact content."""
+        entry = self.entries.get(path)
+        if not isinstance(entry, dict) or entry.get("hash") != digest:
+            self.misses += 1
+            return None
+        raw = entry.get("findings")
+        suppressed = entry.get("suppressed")
+        if not isinstance(raw, list) or not isinstance(suppressed, int):
+            self.misses += 1
+            return None
+        try:
+            findings = [
+                Finding(
+                    code=str(item["code"]),
+                    path=str(item["path"]),
+                    line=int(item["line"]),
+                    col=int(item["col"]),
+                    message=str(item["message"]),
+                )
+                for item in raw
+            ]
+        except (KeyError, TypeError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return findings, suppressed
+
+    def put(
+        self,
+        path: str,
+        digest: str,
+        findings: list[Finding],
+        suppressed: int,
+    ) -> None:
+        self.entries[path] = {
+            "hash": digest,
+            "findings": [finding.to_dict() for finding in findings],
+            "suppressed": suppressed,
+        }

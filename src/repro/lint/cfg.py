@@ -1,0 +1,521 @@
+"""Intra-procedural control-flow graphs over ``ast`` function bodies.
+
+The PR-5 rules are per-scope and syntactic: they can see *that* a call
+happens somewhere in a function, never *on which paths*.  The flow
+rules (RPL008 resource lifecycle, RPL009 async hygiene) need to ask
+"does a release run on **every** path out of this function, including
+the exception paths?" -- which takes a control-flow graph.
+
+:func:`build_cfg` turns one ``FunctionDef`` / ``AsyncFunctionDef`` into
+a :class:`CFG` of :class:`Block` basic blocks:
+
+* every statement of the function body (compound headers included,
+  nested function/class bodies excluded) lives in **exactly one**
+  block -- a property the hypothesis suite asserts over generated
+  programs;
+* edges are typed: ``NORMAL`` fallthrough, ``TRUE``/``FALSE`` branch
+  arms, ``BACK`` loop back-edges, and ``EXCEPT`` exception edges;
+* two synthetic sinks: :attr:`CFG.exit` collects normal returns and
+  fallthrough, :attr:`CFG.raise_exit` collects exceptions that escape
+  the function.  Every block conservatively owns an ``EXCEPT`` edge to
+  its innermost exception target (handler set, enclosing ``finally``,
+  or ``raise_exit``), because nearly any Python statement can raise;
+* ``try``/``except``/``else``/``finally`` is modelled with handler
+  dispatch (an exception in the protected body may reach each handler
+  *or* escape) and a single shared ``finally`` subgraph whose exit
+  fans out to every continuation observed in the protected region
+  (fallthrough, re-raise, ``return``/``break``/``continue``).
+
+Known approximations, all conservative for may-path analyses: loop
+conditions are never constant-folded (``while True`` still grows a
+``FALSE`` edge), a ``return`` routed through *nested* ``finally``
+blocks runs only the innermost one, and ``with`` blocks do not model
+``__exit__`` suppression (rules recognise ``with``-managed resources
+syntactically instead).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from dataclasses import dataclass, field
+
+NORMAL = "normal"
+"""Fallthrough / unconditional successor."""
+
+TRUE = "true"
+"""Branch taken (loop entered, condition satisfied)."""
+
+FALSE = "false"
+"""Branch not taken (loop exhausted, condition failed)."""
+
+BACK = "back"
+"""Loop back-edge from the body's last block to the loop head."""
+
+EXCEPT = "except"
+"""Exception edge: control may leave the block before it completes."""
+
+
+@dataclass
+class Block:
+    """One basic block: a run of statements with shared successors."""
+
+    index: int
+    label: str = ""
+    stmts: list[ast.AST] = field(default_factory=list)
+    succ: list[tuple[int, str]] = field(default_factory=list)
+    pred: list[tuple[int, str]] = field(default_factory=list)
+
+    def successors(self, *kinds: str) -> list[tuple[int, str]]:
+        """Typed successor pairs, optionally filtered by edge kind."""
+        if not kinds:
+            return list(self.succ)
+        return [(index, kind) for index, kind in self.succ if kind in kinds]
+
+
+class CFG:
+    """The control-flow graph of one function."""
+
+    def __init__(self, func: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        self.func = func
+        self.blocks: list[Block] = []
+        self.entry = 0
+        self.exit = 0
+        self.raise_exit = 0
+        self.finally_blocks: set[int] = set()
+        self._block_of: dict[ast.AST, int] = {}
+
+    def block_of(self, stmt: ast.AST) -> Block | None:
+        """The block holding ``stmt`` (None for nested-scope statements)."""
+        index = self._block_of.get(stmt)
+        return None if index is None else self.blocks[index]
+
+    def body_blocks(self) -> Iterator[Block]:
+        """Every block except the two synthetic sinks."""
+        for block in self.blocks:
+            if block.index not in (self.exit, self.raise_exit):
+                yield block
+
+    def reachable(self) -> set[int]:
+        """Block indices reachable from the entry (any edge kind)."""
+        seen: set[int] = set()
+        stack = [self.entry]
+        while stack:
+            index = stack.pop()
+            if index in seen:
+                continue
+            seen.add(index)
+            stack.extend(succ for succ, _ in self.blocks[index].succ)
+        return seen
+
+    def render(self) -> str:
+        """A compact text dump (debugging and golden tests)."""
+        lines = []
+        for block in self.blocks:
+            heads = ", ".join(
+                f"{kind}->{index}" for index, kind in sorted(block.succ)
+            )
+            stmts = ", ".join(type(stmt).__name__ for stmt in block.stmts)
+            lines.append(f"B{block.index}[{block.label}] ({stmts}) => {heads}")
+        return "\n".join(lines)
+
+
+def scan_nodes(stmt: ast.stmt | ast.AST) -> Iterator[ast.AST]:
+    """The AST nodes a block-level effect scan should walk for ``stmt``.
+
+    Compound statements contribute only their *headers* (test, iterator,
+    context managers) -- their bodies live in other blocks and would be
+    double-counted.  Simple statements contribute themselves.  Nested
+    function/class definitions contribute nothing: their bodies are
+    separate scopes with their own CFGs.
+    """
+    if isinstance(stmt, (ast.If, ast.While)):
+        yield stmt.test
+    elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+        yield stmt.target
+        yield stmt.iter
+    elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+        for item in stmt.items:
+            yield item.context_expr
+            if item.optional_vars is not None:
+                yield item.optional_vars
+    elif isinstance(stmt, ast.Try):
+        return
+    elif isinstance(stmt, ast.ExceptHandler):
+        if stmt.type is not None:
+            yield stmt.type
+    elif isinstance(stmt, ast.Match):
+        yield stmt.subject
+    elif isinstance(
+        stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+    ):
+        return
+    else:
+        yield stmt
+
+
+@dataclass
+class _LoopFrame:
+    head: int
+    after: int
+    finally_depth: int = 0
+
+
+@dataclass
+class _FinallyFrame:
+    """One pending ``finally`` suite and the continuations routed at it."""
+
+    body: list[ast.stmt]
+    entry: int
+    targets: list[tuple[int, str]] = field(default_factory=list)
+
+    def add_target(self, index: int, kind: str) -> None:
+        if (index, kind) not in self.targets:
+            self.targets.append((index, kind))
+
+
+class _Builder:
+    """One-pass recursive CFG construction."""
+
+    def __init__(self, func: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        self.cfg = CFG(func)
+        self.current = self._new_block("entry")
+        self.cfg.entry = self.current
+        self.cfg.exit = self._new_block("exit")
+        self.cfg.raise_exit = self._new_block("raise")
+        # Innermost-last stacks.  exc_targets holds, per nesting level,
+        # the block set an in-flight exception may reach next.
+        self.exc_targets: list[list[int]] = [[self.cfg.raise_exit]]
+        self.loops: list[_LoopFrame] = []
+        self.finallys: list[_FinallyFrame] = []
+
+    # -- plumbing --------------------------------------------------------------
+
+    def _new_block(self, label: str) -> int:
+        block = Block(index=len(self.cfg.blocks), label=label)
+        self.cfg.blocks.append(block)
+        return block.index
+
+    def _edge(self, src: int, dst: int, kind: str) -> None:
+        src_block = self.cfg.blocks[src]
+        if (dst, kind) not in src_block.succ:
+            src_block.succ.append((dst, kind))
+            self.cfg.blocks[dst].pred.append((src, kind))
+
+    def _append(self, stmt: ast.AST) -> None:
+        self.cfg.blocks[self.current].stmts.append(stmt)
+        self.cfg._block_of[stmt] = self.current
+
+    def _seal_with_exceptions(self, block: int) -> None:
+        """Give a finished block its EXCEPT edges (if it has statements)."""
+        if not self.cfg.blocks[block].stmts:
+            return
+        for target in self.exc_targets[-1]:
+            self._edge(block, target, EXCEPT)
+
+    def _start_block(self, label: str, *, link: bool = True) -> int:
+        """Seal the current block and begin a new one.
+
+        ``link`` draws the NORMAL fallthrough edge; terminators
+        (return/raise/break/continue) pass ``link=False`` so trailing
+        dead code starts in a predecessor-less block.
+        """
+        self._seal_with_exceptions(self.current)
+        fresh = self._new_block(label)
+        if link:
+            self._edge(self.current, fresh, NORMAL)
+        self.current = fresh
+        return fresh
+
+    def _innermost_finally_between(
+        self, frame_depth: int
+    ) -> _FinallyFrame | None:
+        """The nearest finally frame opened after ``frame_depth`` frames."""
+        if len(self.finallys) > frame_depth:
+            return self.finallys[-1]
+        return None
+
+    # -- statement dispatch ----------------------------------------------------
+
+    def build(self) -> CFG:
+        self._visit_body(self.cfg.func.body)
+        self._seal_with_exceptions(self.current)
+        self._edge(self.current, self.cfg.exit, NORMAL)
+        return self.cfg
+
+    def _visit_body(self, body: list[ast.stmt]) -> None:
+        for stmt in body:
+            self._visit(stmt)
+
+    def _visit(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.If):
+            self._visit_if(stmt)
+        elif isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            self._visit_loop(stmt)
+        elif isinstance(stmt, ast.Try):
+            self._visit_try(stmt)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            self._visit_with(stmt)
+        elif isinstance(stmt, ast.Match):
+            self._visit_match(stmt)
+        elif isinstance(stmt, ast.Return):
+            self._visit_jump(stmt, self.cfg.exit, NORMAL, loop_frames=0)
+        elif isinstance(stmt, ast.Raise):
+            self._append(stmt)
+            for target in self.exc_targets[-1]:
+                self._edge(self.current, target, EXCEPT)
+            self._start_block("dead", link=False)
+        elif isinstance(stmt, ast.Break):
+            if self.loops:
+                self._visit_jump(
+                    stmt, self.loops[-1].after, NORMAL,
+                    loop_frames=self._loop_finally_depth(),
+                )
+            else:  # pragma: no cover - invalid Python, parser rejects it
+                self._append(stmt)
+        elif isinstance(stmt, ast.Continue):
+            if self.loops:
+                self._visit_jump(
+                    stmt, self.loops[-1].head, BACK,
+                    loop_frames=self._loop_finally_depth(),
+                )
+            else:  # pragma: no cover - invalid Python, parser rejects it
+                self._append(stmt)
+        else:
+            self._append(stmt)
+
+    def _loop_finally_depth(self) -> int:
+        """Finally frames opened before the innermost loop."""
+        return self.loops[-1].finally_depth
+
+    def _visit_jump(
+        self, stmt: ast.stmt, target: int, kind: str, *, loop_frames: int
+    ) -> None:
+        """return / break / continue, routed through an enclosing finally."""
+        self._append(stmt)
+        frame = self._innermost_finally_between(loop_frames)
+        if frame is not None:
+            self._edge(self.current, frame.entry, NORMAL)
+            frame.add_target(target, kind)
+        else:
+            self._edge(self.current, target, kind)
+        self._start_block("dead", link=False)
+
+    # -- compound statements ---------------------------------------------------
+
+    def _visit_if(self, stmt: ast.If) -> None:
+        self._append(stmt)
+        head = self.current
+        self._seal_with_exceptions(head)
+        after = self._new_block("after-if")
+
+        then = self._new_block("then")
+        self._edge(head, then, TRUE)
+        self.current = then
+        self._visit_body(stmt.body)
+        self._seal_with_exceptions(self.current)
+        self._edge(self.current, after, NORMAL)
+
+        if stmt.orelse:
+            orelse = self._new_block("else")
+            self._edge(head, orelse, FALSE)
+            self.current = orelse
+            self._visit_body(stmt.orelse)
+            self._seal_with_exceptions(self.current)
+            self._edge(self.current, after, NORMAL)
+        else:
+            self._edge(head, after, FALSE)
+        self.current = after
+
+    def _visit_loop(self, stmt: ast.While | ast.For | ast.AsyncFor) -> None:
+        self._seal_with_exceptions(self.current)
+        head = self._new_block("loop-head")
+        self._edge(self.current, head, NORMAL)
+        self.current = head
+        self._append(stmt)
+        self._seal_with_exceptions(head)
+
+        after = self._new_block("after-loop")
+        frame = _LoopFrame(
+            head=head, after=after, finally_depth=len(self.finallys)
+        )
+        self.loops.append(frame)
+
+        body = self._new_block("loop-body")
+        self._edge(head, body, TRUE)
+        self.current = body
+        self._visit_body(stmt.body)
+        self._seal_with_exceptions(self.current)
+        self._edge(self.current, head, BACK)
+        self.loops.pop()
+
+        if stmt.orelse:
+            orelse = self._new_block("loop-else")
+            self._edge(head, orelse, FALSE)
+            self.current = orelse
+            self._visit_body(stmt.orelse)
+            self._seal_with_exceptions(self.current)
+            self._edge(self.current, after, NORMAL)
+        else:
+            self._edge(head, after, FALSE)
+        self.current = after
+
+    def _visit_with(self, stmt: ast.With | ast.AsyncWith) -> None:
+        self._append(stmt)
+        self._seal_with_exceptions(self.current)
+        body = self._new_block("with-body")
+        self._edge(self.current, body, NORMAL)
+        self.current = body
+        self._visit_body(stmt.body)
+        self._start_block("after-with")
+
+    def _visit_match(self, stmt: ast.Match) -> None:
+        self._append(stmt)
+        head = self.current
+        self._seal_with_exceptions(head)
+        after = self._new_block("after-match")
+        for case in stmt.cases:
+            arm = self._new_block("case")
+            self._edge(head, arm, TRUE)
+            self.current = arm
+            self._visit_body(case.body)
+            self._seal_with_exceptions(self.current)
+            self._edge(self.current, after, NORMAL)
+        self._edge(head, after, FALSE)
+        self.current = after
+
+    def _visit_try(self, stmt: ast.Try) -> None:
+        self._append(stmt)
+        self._seal_with_exceptions(self.current)
+        after = self._new_block("after-try")
+
+        frame: _FinallyFrame | None = None
+        if stmt.finalbody:
+            frame = _FinallyFrame(
+                body=stmt.finalbody, entry=self._new_block("finally")
+            )
+            self.finallys.append(frame)
+
+        handler_entries = [self._new_block("handler") for _ in stmt.handlers]
+        # An exception inside the protected body may dispatch to any
+        # handler, or escape (through the finally when there is one).
+        escape = [frame.entry] if frame is not None else self.exc_targets[-1]
+        self.exc_targets.append([*handler_entries, *escape])
+        body = self._new_block("try-body")
+        self._edge(self.current, body, NORMAL)
+        self.current = body
+        self._visit_body(stmt.body)
+        self._seal_with_exceptions(self.current)
+        body_end = self.current
+        self.exc_targets.pop()
+
+        # Normal completion: else-suite, then finally (or straight out).
+        if stmt.orelse:
+            orelse = self._new_block("try-else")
+            self._edge(body_end, orelse, NORMAL)
+            self.current = orelse
+            self._visit_body(stmt.orelse)
+            self._seal_with_exceptions(self.current)
+            body_end = self.current
+        if frame is not None:
+            self._edge(body_end, frame.entry, NORMAL)
+            frame.add_target(after, NORMAL)
+        else:
+            self._edge(body_end, after, NORMAL)
+
+        # Handler bodies.  An exception raised inside a handler escapes
+        # outward (through the finally when there is one).
+        handler_escape = (
+            [frame.entry] if frame is not None else self.exc_targets[-1]
+        )
+        for handler, entry in zip(stmt.handlers, handler_entries):
+            self.exc_targets.append(list(handler_escape))
+            self.current = entry
+            self._append(handler)
+            self._visit_body(handler.body)
+            self._seal_with_exceptions(self.current)
+            if frame is not None:
+                self._edge(self.current, frame.entry, NORMAL)
+            else:
+                self._edge(self.current, after, NORMAL)
+            self.exc_targets.pop()
+
+        if frame is not None:
+            self.finallys.pop()
+            # Build the shared finally subgraph once; its exit fans out
+            # to every continuation the protected region routed here,
+            # plus outward exception propagation.
+            self.current = frame.entry
+            first_new = len(self.cfg.blocks)
+            self._visit_body(frame.body)
+            self._seal_with_exceptions(self.current)
+            self.cfg.finally_blocks.add(frame.entry)
+            self.cfg.finally_blocks.update(
+                range(first_new, len(self.cfg.blocks))
+            )
+            for target in self.exc_targets[-1]:
+                self._edge(self.current, target, EXCEPT)
+            if not frame.targets:
+                frame.add_target(after, NORMAL)
+            for target, kind in frame.targets:
+                self._edge(self.current, target, kind)
+        self.current = after
+
+
+def build_cfg(func: ast.FunctionDef | ast.AsyncFunctionDef) -> CFG:
+    """Build the CFG of one function definition."""
+    return _Builder(func).build()
+
+
+def may_raise(stmt: ast.AST) -> bool:
+    """Whether a statement can realistically raise.
+
+    Python-pedantically almost anything can raise (``MemoryError`` on a
+    dict store), but a leak report for ``pinned[page] = None`` failing
+    between an acquire and its hand-off would drown the signal.  The
+    pragmatic set -- the one resource linters converge on -- is calls,
+    explicit ``raise``/``assert``, and ``await``/``yield`` suspension
+    points (the coroutine may never be resumed).  Only these statements
+    contribute exception-edge states in :mod:`repro.lint.dataflow`.
+    """
+    if isinstance(stmt, (ast.Raise, ast.Assert)):
+        return True
+    for root in scan_nodes(stmt):
+        for node in ast.walk(root):
+            if isinstance(
+                node, (ast.Call, ast.Await, ast.Yield, ast.YieldFrom)
+            ):
+                return True
+    return False
+
+
+def function_statements(
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> list[ast.stmt]:
+    """Every statement of ``func``'s own body, nested scopes excluded.
+
+    This is the node set the one-block-per-statement property (and the
+    hypothesis suite) quantifies over: compound statements count
+    themselves *and* their nested statements, but the bodies of nested
+    function/class definitions belong to other scopes.
+    """
+    collected: list[ast.stmt] = []
+
+    def walk(body: list[ast.stmt]) -> None:
+        for stmt in body:
+            collected.append(stmt)
+            if isinstance(
+                stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue
+            for field_name in ("body", "orelse", "finalbody"):
+                nested = getattr(stmt, field_name, None)
+                if isinstance(nested, list):
+                    walk([s for s in nested if isinstance(s, ast.stmt)])
+            for handler in getattr(stmt, "handlers", []) or []:
+                walk(handler.body)
+            for case in getattr(stmt, "cases", []) or []:
+                walk(case.body)
+
+    walk(func.body)
+    return collected

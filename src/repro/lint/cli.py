@@ -13,8 +13,10 @@ import sys
 from collections.abc import Sequence
 
 from repro.lint.baseline import load_baseline, write_baseline
+from repro.lint.cache import LintCache, rules_signature
 from repro.lint.config import LintConfig, load_pyproject_config
 from repro.lint.framework import LintResult, lint_paths
+from repro.lint.gitdiff import changed_python_files
 from repro.lint.rules import ALL_RULES, make_rules
 
 EXIT_CLEAN = 0
@@ -70,6 +72,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="ignore [tool.repro-lint] in pyproject.toml",
     )
     parser.add_argument(
+        "--cache",
+        default=None,
+        metavar="PATH",
+        help="per-file result cache (content-hash keyed; invalidated "
+        "automatically when rules or analyzer sources change)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore any configured cache for this run",
+    )
+    parser.add_argument(
+        "--changed-only",
+        action="store_true",
+        help="lint only files changed vs git HEAD (plus untracked); "
+        "falls back to the full file set outside a git checkout",
+    )
+    parser.add_argument(
         "--list-rules",
         action="store_true",
         help="list the registered rules and exit",
@@ -92,7 +112,26 @@ def _resolve_config(args: argparse.Namespace) -> LintConfig:
         config.ignore = _split_codes(args.ignore)
     if args.baseline is not None:
         config.baseline = args.baseline
+    if args.cache is not None:
+        config.cache = args.cache
+    if args.no_cache:
+        config.cache = None
     return config
+
+
+def _restrict_to(paths: list[str], changed: list[str]) -> list[str]:
+    """Changed files that fall under one of the requested paths."""
+    import os
+
+    roots = [os.path.abspath(p) for p in paths]
+    kept: list[str] = []
+    for candidate in changed:
+        absolute = os.path.abspath(candidate)
+        for root in roots:
+            if absolute == root or absolute.startswith(root + os.sep):
+                kept.append(candidate)
+                break
+    return kept
 
 
 def _render_text(result: LintResult, out: object = None) -> None:
@@ -134,7 +173,23 @@ def main(argv: Sequence[str] | None = None) -> int:
         baseline: set[tuple[str, str, str]] | None = None
         if config.baseline and not args.write_baseline:
             baseline = load_baseline(config.baseline)
-        result = lint_paths(args.paths, rules, baseline=baseline)
+        paths = list(args.paths)
+        if args.changed_only:
+            changed = changed_python_files()
+            if changed is None:
+                print(
+                    "repro-lint: --changed-only outside a git checkout; "
+                    "linting the full file set",
+                    file=sys.stderr,
+                )
+            else:
+                paths = _restrict_to(paths, changed)
+        cache: LintCache | None = None
+        if config.cache:
+            cache = LintCache.load(config.cache, rules_signature(list(rules)))
+        result = lint_paths(paths, rules, baseline=baseline, cache=cache)
+        if cache is not None:
+            cache.save()
     except ValueError as exc:
         print(f"repro-lint: {exc}", file=sys.stderr)
         return EXIT_ERROR

@@ -22,7 +22,7 @@ from typing import Any
 if sys.version_info >= (3, 11):  # pragma: no cover - version dispatch
     import tomllib
 else:  # pragma: no cover - the image ships 3.11; kept for 3.10 support
-    tomllib = None  # type: ignore[assignment]
+    tomllib = None  # type: ignore[assignment,unused-ignore]
 
 
 @dataclass
@@ -37,6 +37,9 @@ class LintConfig:
 
     baseline: str | None = None
     """Path of the baseline file, if any."""
+
+    cache: str | None = None
+    """Path of the per-file result cache, if caching is enabled."""
 
     rule_options: dict[str, dict[str, Any]] = field(default_factory=dict)
     """Per-rule option tables, keyed by upper-case rule code."""
@@ -84,6 +87,9 @@ def load_pyproject_config(start: str | Path = ".") -> LintConfig:
         baseline = table.get("baseline")
         if baseline:
             config.baseline = str(candidate / str(baseline))
+        cache = table.get("cache")
+        if cache:
+            config.cache = str(candidate / str(cache))
         for key, value in table.items():
             if isinstance(value, dict):
                 config.rule_options[key.upper()] = dict(value)

@@ -1,0 +1,202 @@
+"""Forward dataflow over :mod:`repro.lint.cfg` graphs.
+
+Two layers:
+
+* :func:`solve_forward` -- the generic worklist.  The client supplies a
+  transfer function that maps a block's IN state to one OUT state per
+  edge kind, and a join (union for *may* analyses, intersection for
+  *must*).  States are frozensets of hashable facts.
+* :class:`GenKillProblem` / :func:`solve_gen_kill` -- the gen/kill
+  convenience layer every shipped rule uses.  The client describes,
+  per statement, which facts are generated and which are killed; the
+  layer derives the per-edge transfer:
+
+  - the **normal/true/false/back** OUT is the usual sequential
+    composition ``(((IN - kill1) | gen1) - kill2) | gen2 ...`` over the
+    block's statements;
+  - the **except** OUT models where exceptions actually originate: the
+    join (union for may, intersection for must) of the *pre*-states of
+    every statement :func:`repro.lint.cfg.may_raise` considers able to
+    raise.  Using the pre-state matters twice over -- an acquire call
+    that raises did *not* acquire (no false leak from ``pin_page``
+    itself failing), while a later raising statement carries the
+    still-held fact out (the real leak).  Blocks with no raising
+    statement contribute nothing along their exception edges.
+  - blocks inside a ``finally`` suite are treated as **atomic**: their
+    except OUT is the sequential OUT.  A release sweep in a ``finally``
+    is exactly the fix the resource rule demands, so an exception
+    hypothetically firing between the suite's first statement and the
+    release must not re-flag the fixed code.
+
+The worklist iterates to a fixpoint; states only grow (may) or shrink
+(must) so termination is immediate for finite fact domains.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import deque
+from collections.abc import Callable, Hashable, Iterable
+from dataclasses import dataclass
+
+from .cfg import CFG, EXCEPT, Block, may_raise
+
+Fact = Hashable
+State = frozenset[Fact]
+
+MAY = "may"
+MUST = "must"
+
+_UNREACHED = None
+
+
+def solve_forward(
+    cfg: CFG,
+    transfer: Callable[[Block, State], dict[str, State]],
+    *,
+    mode: str = MAY,
+    entry_state: State = frozenset(),
+) -> dict[int, State]:
+    """Run a forward worklist to fixpoint; returns IN states per block.
+
+    ``transfer(block, in_state)`` returns a mapping of edge kind to the
+    OUT state carried on edges of that kind; kinds absent from the
+    mapping default to the ``"normal"`` entry (which must be present).
+    """
+    joins: dict[int, State | None] = {b.index: _UNREACHED for b in cfg.blocks}
+    joins[cfg.entry] = entry_state
+    work: deque[int] = deque([cfg.entry])
+    queued = {cfg.entry}
+
+    while work:
+        index = work.popleft()
+        queued.discard(index)
+        in_state = joins[index]
+        assert in_state is not None
+        outs = transfer(cfg.blocks[index], in_state)
+        for succ, kind in cfg.blocks[index].succ:
+            out = outs.get(kind, outs[("normal")])
+            current = joins[succ]
+            if current is _UNREACHED:
+                merged = out
+            elif mode == MAY:
+                merged = current | out
+            else:
+                merged = current & out
+            if merged != current:
+                joins[succ] = merged
+                if succ not in queued:
+                    queued.add(succ)
+                    work.append(succ)
+    return {
+        index: state
+        for index, state in joins.items()
+        if state is not _UNREACHED
+    }
+
+
+@dataclass
+class GenKill:
+    """The facts one statement generates and kills."""
+
+    gen: frozenset[Fact] = frozenset()
+    kill: frozenset[Fact] = frozenset()
+
+
+class GenKillProblem:
+    """A gen/kill description of a dataflow problem over one CFG."""
+
+    def __init__(
+        self,
+        cfg: CFG,
+        effects: Callable[[ast.AST], GenKill],
+        *,
+        mode: str = MAY,
+    ) -> None:
+        self.cfg = cfg
+        self.mode = mode
+        self._effects = {
+            stmt: effects(stmt)
+            for block in cfg.blocks
+            for stmt in block.stmts
+        }
+
+    def effect(self, stmt: ast.AST) -> GenKill:
+        return self._effects.get(stmt, GenKill())
+
+    def _transfer(self, block: Block, state: State) -> dict[str, State]:
+        sequential = state
+        exceptional: State | None = None
+        for stmt in block.stmts:
+            eff = self.effect(stmt)
+            if may_raise(stmt):
+                # An exception inside ``stmt`` leaves with the gens not
+                # yet applied (a failed acquire acquired nothing).  A
+                # *pure* release additionally gets its kills (a release
+                # raising mid-release is not protectable by another
+                # release); a statement that both acquires and releases
+                # keeps the conservative pre-state.
+                at_raise = (
+                    sequential - eff.kill if not eff.gen else sequential
+                )
+                if exceptional is None:
+                    exceptional = at_raise
+                elif self.mode == MAY:
+                    exceptional = exceptional | at_raise
+                else:
+                    exceptional = exceptional & at_raise
+            sequential = (sequential - eff.kill) | eff.gen
+        if block.index in self.cfg.finally_blocks:
+            exceptional = sequential
+        elif exceptional is None:
+            exceptional = frozenset() if self.mode == MAY else sequential
+        return {"normal": sequential, EXCEPT: exceptional}
+
+    def solve(self, entry_state: State = frozenset()) -> "GenKillSolution":
+        ins = solve_forward(
+            self.cfg, self._transfer, mode=self.mode, entry_state=entry_state
+        )
+        return GenKillSolution(self, ins)
+
+
+@dataclass
+class GenKillSolution:
+    """Fixpoint IN states plus the helpers rules actually ask for."""
+
+    problem: GenKillProblem
+    block_in: dict[int, State]
+
+    def in_state(self, index: int) -> State:
+        return self.block_in.get(index, frozenset())
+
+    def out_states(self, index: int) -> dict[str, State]:
+        state = self.block_in.get(index)
+        if state is None:
+            return {}
+        return self.problem._transfer(
+            self.problem.cfg.blocks[index], state
+        )
+
+    def facts_reaching(self, *indices: int) -> State:
+        """Union of IN states at the given blocks (may-mode reporting).
+
+        For leak detection pass ``cfg.exit`` and ``cfg.raise_exit``:
+        any fact still live on entry to either sink survived some path
+        out of the function.
+        """
+        facts: set[Fact] = set()
+        for index in indices:
+            facts |= self.block_in.get(index, frozenset())
+        return frozenset(facts)
+
+
+def solve_gen_kill(
+    cfg: CFG,
+    effects: Callable[[ast.AST], GenKill],
+    *,
+    mode: str = MAY,
+    entry_state: Iterable[Fact] = (),
+) -> GenKillSolution:
+    """One-shot helper: build the problem and solve it."""
+    problem = GenKillProblem(cfg, effects, mode=mode)
+    return problem.solve(frozenset(entry_state))

@@ -16,6 +16,10 @@ import re
 from collections.abc import Iterable, Iterator, Sequence
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.lint.cache import LintCache
 
 _SUPPRESS_RE = re.compile(r"#\s*repro-lint:\s*disable(?:=([A-Za-z0-9, ]+))?")
 _SUPPRESS_FILE_RE = re.compile(r"#\s*repro-lint:\s*disable-file=([A-Za-z0-9, ]+)")
@@ -358,12 +362,19 @@ def lint_paths(
     paths: Sequence[str],
     rules: Sequence[Rule],
     baseline: set[tuple[str, str, str]] | None = None,
+    cache: "LintCache | None" = None,
 ) -> LintResult:
-    """Lint a file set; baseline fingerprints are subtracted, not shown."""
+    """Lint a file set; baseline fingerprints are subtracted, not shown.
+
+    With a ``cache``, files whose content hash matches a prior run are
+    served from it.  Cached entries hold *pre-baseline* findings and
+    the file's suppression count, so baseline changes apply instantly.
+    """
     result = LintResult()
     for file_path in collect_files(paths):
         try:
-            source = file_path.read_text(encoding="utf-8")
+            raw = file_path.read_bytes()
+            source = raw.decode("utf-8")
         except (OSError, UnicodeDecodeError) as exc:
             result.findings.append(
                 Finding(
@@ -376,7 +387,23 @@ def lint_paths(
             )
             continue
         result.files += 1
-        for finding in lint_source(source, rules, path=str(file_path), stats=result):
+        findings: list[Finding] | None = None
+        if cache is not None:
+            hit = cache.lookup(str(file_path), raw)
+            if hit is not None:
+                findings, suppressed = hit
+                result.suppressed += suppressed
+        if findings is None:
+            per_file = LintResult()
+            findings = lint_source(
+                source, rules, path=str(file_path), stats=per_file
+            )
+            result.suppressed += per_file.suppressed
+            if cache is not None:
+                cache.store(
+                    str(file_path), raw, findings, per_file.suppressed
+                )
+        for finding in findings:
             if baseline and finding.fingerprint() in baseline:
                 result.baselined += 1
                 continue

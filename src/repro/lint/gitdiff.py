@@ -1,0 +1,46 @@
+"""Git-driven file selection for ``repro-lint --changed-only``.
+
+The changed set is the union of tracked files that differ from ``HEAD``
+(staged or not) and untracked files that are not ignored -- i.e. every
+``.py`` file whose lint result could differ from the last commit's.
+Deleted files are naturally excluded (they no longer exist on disk, so
+``collect_files`` drops them).
+
+Returns ``None`` when git is unavailable or the directory is not a
+checkout: the caller falls back to the full file set, because linting
+too much is safe and linting nothing is not.
+"""
+
+from __future__ import annotations
+
+import subprocess
+
+
+def changed_python_files(cwd: str = ".") -> list[str] | None:
+    """``.py`` paths changed vs HEAD plus untracked, or None without git."""
+    commands = [
+        ["git", "diff", "--name-only", "HEAD", "--"],
+        ["git", "ls-files", "--others", "--exclude-standard"],
+    ]
+    changed: list[str] = []
+    seen: set[str] = set()
+    for command in commands:
+        try:
+            proc = subprocess.run(
+                command,
+                cwd=cwd,
+                capture_output=True,
+                text=True,
+                timeout=30,
+                check=False,
+            )
+        except (OSError, subprocess.TimeoutExpired):
+            return None
+        if proc.returncode != 0:
+            return None
+        for line in proc.stdout.splitlines():
+            path = line.strip()
+            if path.endswith(".py") and path not in seen:
+                seen.add(path)
+                changed.append(path)
+    return changed

@@ -6,11 +6,14 @@ from collections.abc import Sequence
 
 from repro.lint.config import LintConfig
 from repro.lint.framework import Rule
+from repro.lint.rules.asynchygiene import AsyncHygieneRule
 from repro.lint.rules.capability import CapabilityGuardRule
 from repro.lint.rules.counters import CounterDisciplineRule
 from repro.lint.rules.determinism import DeterminismRule
 from repro.lint.rules.exceptions import ExceptionHygieneRule
+from repro.lint.rules.forksafety import ForkSafetyRule
 from repro.lint.rules.fsync import FsyncDisciplineRule
+from repro.lint.rules.resources import ResourceLifecycleRule
 from repro.lint.rules.scale import ScaleHygieneRule
 from repro.lint.rules.seam import SeamIsolationRule
 
@@ -22,6 +25,9 @@ ALL_RULES: tuple[type[Rule], ...] = (
     ExceptionHygieneRule,
     FsyncDisciplineRule,
     ScaleHygieneRule,
+    ResourceLifecycleRule,
+    AsyncHygieneRule,
+    ForkSafetyRule,
 )
 
 

@@ -1,0 +1,318 @@
+"""RPL009: the serve event loop must never block, and tasks must land.
+
+The resilient query service (PR 8) holds its p99 promises only while
+the event loop keeps turning: one synchronous ``fsync`` inside a
+handler stalls *every* in-flight request, which is precisely the
+degradation mode the chaos suite works to rule out.  Three checks:
+
+* **blocking calls in async functions** -- a call that resolves to a
+  known-blocking API (``time.sleep``, ``os.fsync``, ``subprocess.*``,
+  sync ``open``, the fsync-per-record ``JsonlSink``, an engine
+  ``.run()``) directly inside an ``async def``.  References passed to
+  ``run_in_executor``/``partial`` are arguments, not calls, so the
+  executor idiom is exempt by construction.  The check also looks one
+  hop into same-file *sync* helpers: the RPL006 durable-write idiom
+  hides the fsync inside a helper, and delegation must not launder it
+  back onto the loop;
+* **un-awaited coroutines** -- calling a same-file ``async def`` (or
+  ``asyncio.sleep``) without ``await`` creates a coroutine that never
+  runs; as a bare expression statement it is reported outright, and a
+  coroutine bound to a variable flows through the may-leak dataflow
+  (:mod:`repro.lint.dataflow`) until awaited or escaped;
+* **orphaned tasks** -- ``asyncio.create_task``/``ensure_future``
+  results that are discarded, or bound but never awaited, cancelled,
+  gathered, stored, or given a done-callback on some path out of the
+  function.  An orphaned task's exception is silently swallowed at
+  garbage collection -- the serve equivalent of a dropped unit error.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable, Iterator
+
+from repro.lint.cfg import build_cfg, scan_nodes
+from repro.lint.dataflow import GenKill, solve_gen_kill
+from repro.lint.framework import (
+    FileContext,
+    Finding,
+    Rule,
+    terminal_name,
+)
+from repro.lint.rules.resources import CalleeResolver, FunctionNode
+
+TASK_FACTORIES = (
+    "asyncio.create_task",
+    "asyncio.ensure_future",
+)
+
+RETRIEVE_ATTRS = frozenset(
+    {"result", "exception", "add_done_callback", "cancel"}
+)
+
+
+def _own_nodes(func: ast.AST) -> Iterator[ast.AST]:
+    """Walk a function's own body, stopping at nested scopes."""
+    stack: list[ast.AST] = list(
+        getattr(func, "body", [])
+    )
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (*FunctionNode, ast.ClassDef, ast.Lambda)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+class AsyncHygieneRule(Rule):
+    """RPL009: no blocking calls on the loop; every coroutine lands."""
+
+    code = "RPL009"
+    name = "async-hygiene"
+    summary = (
+        "no blocking I/O inside async functions (directly or one helper "
+        "deep); coroutines and created tasks must be awaited or handed off"
+    )
+
+    def __init__(self) -> None:
+        self.scope: tuple[str, ...] = ("repro.serve", "repro.cli")
+        self.blocking_calls: tuple[str, ...] = (
+            "time.sleep",
+            "os.fsync",
+            "os.sync",
+            "subprocess.run",
+            "subprocess.call",
+            "subprocess.check_call",
+            "subprocess.check_output",
+            "subprocess.Popen",
+            "open",
+            "io.open",
+            "repro.obs.sink.JsonlSink",
+        )
+        self.blocking_run_receivers: tuple[str, ...] = ("engine",)
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        if not self.applies_to(ctx.module, self.scope):
+            return
+        resolver = CalleeResolver(ctx)
+        blocking = frozenset(self.blocking_calls)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.AsyncFunctionDef):
+                yield from self._check_async_def(
+                    ctx, node, resolver, blocking
+                )
+
+    # -- one async def ---------------------------------------------------------
+
+    def _check_async_def(
+        self,
+        ctx: FileContext,
+        func: ast.AsyncFunctionDef,
+        resolver: CalleeResolver,
+        blocking: frozenset[str],
+    ) -> Iterator[Finding]:
+        fact_sites: dict[str, list[ast.AST]] = {}
+        for node in _own_nodes(func):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = ctx.resolve_dotted(node.func)
+            if resolved in blocking:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"blocking call {resolved}() inside async def "
+                    f"{func.name}; run it in an executor or move it "
+                    "off the async path",
+                )
+                continue
+            if self._is_engine_run(node):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"synchronous engine .run() inside async def "
+                    f"{func.name}; run it in an executor "
+                    "(loop.run_in_executor)",
+                )
+                continue
+            if self._is_task_factory(resolved, node):
+                yield from self._handle_task(ctx, func, node, fact_sites)
+                continue
+            callee = resolver.resolve(node)
+            if callee is None:
+                continue
+            if isinstance(callee, ast.AsyncFunctionDef):
+                yield from self._handle_coroutine(
+                    ctx, func, node, callee, fact_sites
+                )
+            elif isinstance(callee, ast.FunctionDef):
+                hidden = self._blocking_inside(ctx, callee, blocking)
+                if hidden is not None:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"async def {func.name} calls {callee.name}() "
+                        f"which performs blocking I/O ({hidden}); hoist "
+                        "the call off the event loop or wrap it in an "
+                        "executor",
+                    )
+        if fact_sites:
+            yield from self._flow_check(ctx, func, fact_sites)
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _is_engine_run(self, call: ast.Call) -> bool:
+        func = call.func
+        return (
+            isinstance(func, ast.Attribute)
+            and func.attr == "run"
+            and terminal_name(func.value) in self.blocking_run_receivers
+        )
+
+    @staticmethod
+    def _is_task_factory(resolved: str | None, call: ast.Call) -> bool:
+        if resolved in TASK_FACTORIES:
+            return True
+        func = call.func
+        return isinstance(func, ast.Attribute) and func.attr in (
+            "create_task",
+            "ensure_future",
+        )
+
+    def _blocking_inside(
+        self,
+        ctx: FileContext,
+        helper: ast.FunctionDef,
+        blocking: frozenset[str],
+    ) -> str | None:
+        """One-hop delegation: the first blocking call inside ``helper``."""
+        for node in _own_nodes(helper):
+            if isinstance(node, ast.Call):
+                resolved = ctx.resolve_dotted(node.func)
+                if resolved in blocking:
+                    return resolved
+                if self._is_engine_run(node):
+                    return "engine.run"
+        return None
+
+    def _handle_task(
+        self,
+        ctx: FileContext,
+        func: ast.AsyncFunctionDef,
+        call: ast.Call,
+        fact_sites: dict[str, list[ast.AST]],
+    ) -> Iterator[Finding]:
+        parent = ctx.parent(call)
+        if isinstance(parent, ast.Expr):
+            yield self.finding(
+                ctx,
+                call,
+                f"task created in async def {func.name} is discarded; "
+                "its exceptions can never be retrieved — bind it and "
+                "await it (or add a done-callback)",
+            )
+        elif isinstance(parent, ast.Assign) and all(
+            isinstance(t, ast.Name) for t in parent.targets
+        ):
+            for target in parent.targets:
+                assert isinstance(target, ast.Name)
+                fact_sites.setdefault(f"task:{target.id}", []).append(call)
+
+    def _handle_coroutine(
+        self,
+        ctx: FileContext,
+        func: ast.AsyncFunctionDef,
+        call: ast.Call,
+        callee: ast.AsyncFunctionDef,
+        fact_sites: dict[str, list[ast.AST]],
+    ) -> Iterator[Finding]:
+        parent = ctx.parent(call)
+        if isinstance(parent, ast.Await):
+            return
+        if isinstance(parent, ast.Expr):
+            yield self.finding(
+                ctx,
+                call,
+                f"coroutine {callee.name}() is never awaited in async "
+                f"def {func.name}; the call creates a coroutine object "
+                "and discards it without running it",
+            )
+        elif isinstance(parent, ast.Assign) and all(
+            isinstance(t, ast.Name) for t in parent.targets
+        ):
+            for target in parent.targets:
+                assert isinstance(target, ast.Name)
+                fact_sites.setdefault(
+                    f"task:{target.id}", []
+                ).append(call)
+
+    # -- dataflow for bound tasks/coroutines -----------------------------------
+
+    def _flow_check(
+        self,
+        ctx: FileContext,
+        func: ast.AsyncFunctionDef,
+        fact_sites: dict[str, list[ast.AST]],
+    ) -> Iterator[Finding]:
+        cfg = build_cfg(func)
+        tracked = frozenset(fact_sites)
+
+        def effects(stmt: ast.AST) -> GenKill:
+            gen: set[str] = set()
+            kill: set[str] = set()
+            for root in scan_nodes(stmt):
+                for node in ast.walk(root):
+                    if isinstance(node, ast.Await):
+                        if isinstance(node.value, ast.Name):
+                            kill.add(f"task:{node.value.id}")
+                    elif isinstance(node, ast.Call):
+                        func_expr = node.func
+                        if (
+                            isinstance(func_expr, ast.Attribute)
+                            and isinstance(func_expr.value, ast.Name)
+                            and func_expr.attr in RETRIEVE_ATTRS
+                        ):
+                            kill.add(f"task:{func_expr.value.id}")
+                        for arg in node.args:
+                            kill.update(_task_names_in(arg))
+                        for keyword in node.keywords:
+                            kill.update(_task_names_in(keyword.value))
+                    elif isinstance(
+                        node, (ast.Return, ast.Yield, ast.YieldFrom)
+                    ):
+                        if node.value is not None:
+                            kill.update(_task_names_in(node.value))
+            if isinstance(stmt, ast.Assign):
+                # Aliasing / storing the task escapes it; rebinding the
+                # name kills the old fact before the new gen below.
+                kill.update(_task_names_in(stmt.value))
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        kill.add(f"task:{target.id}")
+                    else:
+                        kill.update(_task_names_in(target))
+            for fact, sites in fact_sites.items():
+                for site in sites:
+                    if ctx.parent(site) is stmt:
+                        gen.add(fact)
+            return GenKill(frozenset(gen), frozenset(kill & tracked))
+
+        solution = solve_gen_kill(cfg, effects)
+        leaked = solution.facts_reaching(cfg.exit, cfg.raise_exit)
+        for fact in sorted(str(f) for f in leaked):
+            name = fact.partition(":")[2]
+            for site in fact_sites.get(fact, []):
+                yield self.finding(
+                    ctx,
+                    site,
+                    f"task/coroutine {name!r} in async def {func.name} "
+                    "is never awaited on some path; await it, gather "
+                    "it, or attach a done-callback so failures surface",
+                )
+
+
+def _task_names_in(node: ast.AST) -> set[str]:
+    return {
+        f"task:{sub.id}"
+        for sub in ast.walk(node)
+        if isinstance(sub, ast.Name) and isinstance(sub.ctx, ast.Load)
+    }

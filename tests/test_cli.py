@@ -295,3 +295,18 @@ class TestServeCommand:
         assert main([*self.WORKLOAD, "--deadline-ms", "-5",
                      "--self-check", "1"]) == 1
         assert "error:" in capsys.readouterr().err
+
+    def test_probe_mode_emits_serve_run_record(self, tmp_path, capsys):
+        """Regression: the run record survives the RPL009 fix.
+
+        Emission moved out of the async probe handler (JsonlSink fsyncs
+        every record -- a blocking call on the event loop) to after
+        ``asyncio.run`` returns; the record itself must still be
+        written in probe mode.
+        """
+        out = tmp_path / "serve-probe.jsonl"
+        assert main([*self.WORKLOAD, "--probe", "0:100",
+                     "--emit-json", str(out)]) == 0
+        record = json.loads(out.read_text())
+        assert record["algorithm"] == "serve"
+        assert "latency_p99_ms" in record["metrics"]

@@ -85,3 +85,43 @@ class TestBlockingBehaviour:
             medium_dag, system=SystemConfig(buffer_pages=10, ilimit=0.2)
         )
         assert result.metrics.arcs_considered == medium_dag.num_arcs
+
+
+class TestExhaustionCleanup:
+    def test_escaping_exhaustion_leaves_no_pages_pinned(self):
+        """Regression: the unpin sweep must run on the exception path.
+
+        A broom graph gives the root a closure list far larger than a
+        two-frame pool, so reblocking bottoms out and the
+        BufferPoolExhaustedError escapes ``_expand_block``.  Before the
+        sweep moved into the ``finally`` (RPL008), the abort left the
+        diagonal block's pages pinned, silently shrinking the pool for
+        whatever ran next in the same process.
+        """
+        import pytest
+
+        from repro.core.base import Phase
+        from repro.core.context import ExecutionContext
+        from repro.errors import BufferPoolExhaustedError
+        from repro.graphs.digraph import Digraph
+
+        n = 1600
+        arcs = []
+        for mid in range(1, n - 1):
+            arcs.append((0, mid))
+            arcs.append((mid, n - 1))
+        graph = Digraph.from_arcs(n, arcs)
+
+        algo = HybridAlgorithm()
+        ctx = ExecutionContext(
+            graph,
+            Query.full(),
+            SystemConfig(buffer_pages=2, ilimit=1.0),
+            needs_inverse=algo.needs_inverse,
+        )
+        ctx.enter_phase(Phase.RESTRUCTURE)
+        algo.restructure(ctx)
+        ctx.enter_phase(Phase.COMPUTE)
+        with pytest.raises(BufferPoolExhaustedError):
+            algo.compute(ctx)
+        assert ctx.engine.pinned_count == 0

@@ -12,14 +12,18 @@ import textwrap
 from pathlib import Path
 
 from repro.lint import lint_source, load_baseline, write_baseline
+from repro.lint.cache import LintCache, rules_signature
 from repro.lint.cli import EXIT_CLEAN, EXIT_ERROR, EXIT_FINDINGS, main
 from repro.lint.framework import PARSE_ERROR_CODE, LintResult, lint_paths
 from repro.lint.rules import make_rules
+from repro.lint.rules.asynchygiene import AsyncHygieneRule
 from repro.lint.rules.capability import CapabilityGuardRule
 from repro.lint.rules.counters import CounterDisciplineRule
 from repro.lint.rules.determinism import DeterminismRule
 from repro.lint.rules.exceptions import ExceptionHygieneRule
+from repro.lint.rules.forksafety import ForkSafetyRule
 from repro.lint.rules.fsync import FsyncDisciplineRule
+from repro.lint.rules.resources import ResourceLifecycleRule
 from repro.lint.rules.scale import ScaleHygieneRule
 from repro.lint.rules.seam import SeamIsolationRule
 
@@ -553,6 +557,360 @@ class TestScaleHygiene:
         assert findings == []
 
 
+class TestResourceLifecycle:
+    def test_pin_without_unpin_is_flagged(self):
+        source = """\
+            def scan(engine, page):
+                engine.pin_page(page)
+                return engine.read(page)
+        """
+        findings = run(source, ResourceLifecycleRule())
+        assert codes(findings) == ["RPL008"]
+        assert "unreleased" in findings[0].message
+
+    def test_exception_path_leak_is_flagged(self):
+        # The flow-sensitive shape the PR-5 syntactic rules cannot see:
+        # a pin matched by an unpin, but only on the normal path.
+        source = """\
+            def sweep(engine, pages):
+                for page in pages:
+                    engine.pin_page(page)
+                process(pages)
+                for page in pages:
+                    engine.unpin_page(page)
+        """
+        findings = run(source, ResourceLifecycleRule())
+        assert codes(findings) == ["RPL008"]
+        assert "exception paths" in findings[0].message
+
+    def test_early_return_leak_is_flagged(self):
+        source = """\
+            def probe(engine, page):
+                engine.pin_page(page)
+                if cached(page):
+                    return fast(page)
+                engine.unpin_page(page)
+                return slow(page)
+        """
+        findings = run(source, ResourceLifecycleRule())
+        assert codes(findings) == ["RPL008"]
+        assert "some normal path" in findings[0].message
+
+    def test_release_in_finally_is_clean(self):
+        # The pin loop sits inside the try: an exception during the
+        # second pin still releases the first via the finally sweep.
+        source = """\
+            def sweep(engine, pages):
+                try:
+                    for page in pages:
+                        engine.pin_page(page)
+                    process(pages)
+                finally:
+                    for page in pages:
+                        engine.unpin_page(page)
+        """
+        assert run(source, ResourceLifecycleRule()) == []
+
+    def test_unpin_all_counts_as_a_release(self):
+        source = """\
+            def sweep(engine, pages):
+                try:
+                    for page in pages:
+                        engine.pin_page(page)
+                    process(pages)
+                finally:
+                    engine.unpin_all()
+        """
+        assert run(source, ResourceLifecycleRule()) == []
+
+    def test_pin_loop_outside_the_try_still_leaks(self):
+        # A pin sweep ahead of the try: a failure mid-sweep escapes
+        # before the finally protection begins.
+        source = """\
+            def sweep(engine, pages):
+                for page in pages:
+                    engine.pin_page(page)
+                try:
+                    process(pages)
+                finally:
+                    engine.unpin_all()
+        """
+        findings = run(source, ResourceLifecycleRule())
+        assert codes(findings) == ["RPL008"]
+        assert "exception paths" in findings[0].message
+
+    def test_open_handle_not_closed_is_flagged(self):
+        source = """\
+            def count_rows(path):
+                fh = open(path)
+                total = 0
+                for _line in fh:
+                    total += 1
+                return total
+        """
+        findings = run(source, ResourceLifecycleRule())
+        assert codes(findings) == ["RPL008"]
+        assert "'fh'" in findings[0].message
+
+    def test_with_managed_handle_is_clean(self):
+        source = """\
+            def count_rows(path):
+                with open(path) as fh:
+                    return sum(1 for _ in fh)
+        """
+        assert run(source, ResourceLifecycleRule()) == []
+
+    def test_close_in_finally_is_clean(self):
+        source = """\
+            def count_rows(path):
+                fh = open(path)
+                try:
+                    return sum(1 for _ in fh)
+                finally:
+                    fh.close()
+        """
+        assert run(source, ResourceLifecycleRule()) == []
+
+    def test_handle_returned_to_the_caller_is_clean(self):
+        # Ownership transfer: the caller is now responsible.
+        source = """\
+            def open_log(path):
+                fh = open(path)
+                return fh
+        """
+        assert run(source, ResourceLifecycleRule()) == []
+
+    def test_suppression_at_the_acquire_site(self):
+        source = """\
+            def scan(engine, page):
+                engine.pin_page(page)  # repro-lint: disable=RPL008
+                return engine.read(page)
+        """
+        assert run(source, ResourceLifecycleRule()) == []
+
+
+def run_async(source, module="repro.serve.fixture"):
+    return lint_source(
+        textwrap.dedent(source), [AsyncHygieneRule()], module=module
+    )
+
+
+class TestAsyncHygiene:
+    def test_blocking_sleep_in_async_def_is_flagged(self):
+        source = """\
+            import time
+
+            async def handler(request):
+                time.sleep(0.1)
+                return request
+        """
+        findings = run_async(source)
+        assert codes(findings) == ["RPL009"]
+        assert "time.sleep" in findings[0].message
+
+    def test_engine_run_in_async_def_is_flagged(self):
+        source = """\
+            async def handler(engine, spec):
+                return engine.run(spec)
+        """
+        findings = run_async(source)
+        assert codes(findings) == ["RPL009"]
+        assert ".run()" in findings[0].message
+
+    def test_executor_wrapped_blocking_call_is_clean(self):
+        source = """\
+            import time
+
+            async def handler(loop):
+                return await loop.run_in_executor(None, time.sleep, 0.1)
+        """
+        assert run_async(source) == []
+
+    def test_never_awaited_coroutine_is_flagged(self):
+        source = """\
+            async def work():
+                return 1
+
+            async def handler():
+                work()
+        """
+        findings = run_async(source)
+        assert codes(findings) == ["RPL009"]
+        assert "never awaited" in findings[0].message
+
+    def test_discarded_create_task_is_flagged(self):
+        source = """\
+            import asyncio
+
+            async def work():
+                return 1
+
+            async def handler():
+                asyncio.create_task(work())
+        """
+        findings = run_async(source)
+        assert codes(findings) == ["RPL009"]
+        assert "discarded" in findings[0].message
+
+    def test_task_awaited_on_one_path_only_is_flagged(self):
+        # Flow-sensitive: the await exists but not on every path.
+        source = """\
+            import asyncio
+
+            async def work():
+                return 1
+
+            async def handler(fast):
+                task = asyncio.create_task(work())
+                if fast:
+                    await task
+        """
+        findings = run_async(source)
+        assert codes(findings) == ["RPL009"]
+        assert "some path" in findings[0].message
+
+    def test_awaited_task_is_clean(self):
+        source = """\
+            import asyncio
+
+            async def work():
+                return 1
+
+            async def handler():
+                task = asyncio.create_task(work())
+                return await task
+        """
+        assert run_async(source) == []
+
+    def test_done_callback_counts_as_retrieval(self):
+        source = """\
+            import asyncio
+
+            async def work():
+                return 1
+
+            async def handler(on_done):
+                task = asyncio.create_task(work())
+                task.add_done_callback(on_done)
+        """
+        assert run_async(source) == []
+
+    def test_sync_code_is_out_of_scope(self):
+        source = """\
+            import time
+
+            def handler(request):
+                time.sleep(0.1)
+                return request
+        """
+        assert run_async(source) == []
+
+    def test_other_modules_are_out_of_scope(self):
+        source = """\
+            import time
+
+            async def handler(request):
+                time.sleep(0.1)
+        """
+        assert run_async(source, module="repro.report.tables") == []
+
+    def test_suppression(self):
+        source = """\
+            import time
+
+            async def handler(request):
+                time.sleep(0.1)  # repro-lint: disable=RPL009
+        """
+        assert run_async(source) == []
+
+
+def run_fork(source, module="repro.experiments.parallel"):
+    return lint_source(
+        textwrap.dedent(source), [ForkSafetyRule()], module=module
+    )
+
+
+class TestForkSafety:
+    def test_lambda_closing_over_engine_is_flagged(self):
+        source = """\
+            def launch(pool, jobs):
+                engine = ExperimentEngine()
+                for job in jobs:
+                    pool.submit(lambda: engine.run(job))
+        """
+        findings = run_fork(source)
+        assert codes(findings) == ["RPL010"]
+        assert "'engine'" in findings[0].message
+
+    def test_live_handle_argument_is_flagged(self):
+        source = """\
+            def launch(pool, path):
+                fh = open(path)
+                pool.submit(parse, fh)
+        """
+        findings = run_fork(source)
+        assert codes(findings) == ["RPL010"]
+        assert "live resource" in findings[0].message
+
+    def test_plain_data_submission_is_clean(self):
+        source = """\
+            def launch(pool, jobs):
+                for job in jobs:
+                    pool.submit(run_job, job)
+        """
+        assert run_fork(source) == []
+
+    def test_unreset_module_state_read_by_worker_is_flagged(self):
+        source = """\
+            CACHE = {}
+
+            def worker(job):
+                return CACHE.get(job)
+
+            def launch(pool, jobs):
+                for job in jobs:
+                    pool.submit(worker, job)
+        """
+        findings = run_fork(source)
+        assert codes(findings) == ["RPL010"]
+        assert "'CACHE'" in findings[0].message
+
+    def test_initializer_reset_hook_is_clean(self):
+        source = """\
+            from concurrent.futures import ProcessPoolExecutor
+
+            CACHE = {}
+
+            def _reset_worker_state():
+                CACHE.clear()
+
+            def worker(job):
+                return CACHE.get(job)
+
+            def launch(jobs):
+                with ProcessPoolExecutor(initializer=_reset_worker_state) as pool:
+                    for job in jobs:
+                        pool.submit(worker, job)
+        """
+        assert run_fork(source) == []
+
+    def test_other_modules_are_out_of_scope(self):
+        source = """\
+            def launch(pool, jobs):
+                engine = ExperimentEngine()
+                pool.submit(lambda: engine.run(jobs))
+        """
+        assert run_fork(source, module="repro.core.fixture") == []
+
+    def test_suppression(self):
+        source = """\
+            def launch(pool, jobs):
+                engine = ExperimentEngine()
+                pool.submit(lambda: engine.run(jobs))  # repro-lint: disable=RPL010
+        """
+        assert run_fork(source) == []
+
+
 class TestSuppression:
     def test_inline_disable_by_code(self):
         source = "metrics.duplicates += 1  # repro-lint: disable=RPL003\n"
@@ -658,7 +1016,7 @@ class TestConfigAndSelection:
         rules = make_rules(LintConfig(ignore=["RPL002", "RPL006"]))
         assert "RPL002" not in [r.code for r in rules]
         assert "RPL006" not in [r.code for r in rules]
-        assert len(rules) == 5
+        assert len(rules) == 8
 
     def test_per_rule_options_reach_the_rule(self):
         from repro.lint.config import LintConfig
@@ -719,8 +1077,162 @@ class TestCli:
         assert main(["--list-rules"]) == EXIT_CLEAN
         out = capsys.readouterr().out
         for code in ("RPL001", "RPL002", "RPL003", "RPL004", "RPL005", "RPL006",
-                     "RPL007"):
+                     "RPL007", "RPL008", "RPL009", "RPL010"):
             assert code in out
+
+
+class TestCache:
+    def _bad_file(self, tmp_path):
+        bad = tmp_path / "repro" / "core" / "bad.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("metrics.duplicates += 1\n", encoding="utf-8")
+        return bad
+
+    def test_warm_run_is_all_hits_and_identical(self, tmp_path):
+        bad = self._bad_file(tmp_path)
+        rules = [CounterDisciplineRule()]
+        signature = rules_signature(rules)
+        cache_path = tmp_path / "cache.json"
+
+        cold_cache = LintCache.load(cache_path, signature)
+        cold = lint_paths([str(tmp_path)], rules, cache=cold_cache)
+        assert cold_cache.misses == 1 and cold_cache.hits == 0
+        cold_cache.save()
+
+        warm_cache = LintCache.load(cache_path, signature)
+        warm = lint_paths([str(tmp_path)], rules, cache=warm_cache)
+        assert warm_cache.hits == 1 and warm_cache.misses == 0
+        assert [f.render() for f in warm.findings] == [
+            f.render() for f in cold.findings
+        ]
+        assert bad.exists()
+
+    def test_edited_file_misses(self, tmp_path):
+        bad = self._bad_file(tmp_path)
+        rules = [CounterDisciplineRule()]
+        signature = rules_signature(rules)
+        cache_path = tmp_path / "cache.json"
+
+        cold_cache = LintCache.load(cache_path, signature)
+        lint_paths([str(tmp_path)], rules, cache=cold_cache)
+        cold_cache.save()
+
+        bad.write_text("x = 1\n", encoding="utf-8")
+        warm_cache = LintCache.load(cache_path, signature)
+        warm = lint_paths([str(tmp_path)], rules, cache=warm_cache)
+        assert warm_cache.misses == 1
+        assert warm.findings == []
+
+    def test_signature_change_discards_the_cache(self, tmp_path):
+        self._bad_file(tmp_path)
+        rules = [CounterDisciplineRule()]
+        cache_path = tmp_path / "cache.json"
+
+        cold_cache = LintCache.load(cache_path, rules_signature(rules))
+        lint_paths([str(tmp_path)], rules, cache=cold_cache)
+        cold_cache.save()
+
+        reloaded = LintCache.load(cache_path, "different-signature")
+        assert reloaded.entries == {}
+
+    def test_rule_options_change_the_signature(self):
+        plain = rules_signature([ResourceLifecycleRule()])
+        tweaked_rule = ResourceLifecycleRule()
+        tweaked_rule.configure({"pin_names": ("grab",)})
+        assert plain != rules_signature([tweaked_rule])
+
+    def test_corrupt_cache_degrades_to_cold(self, tmp_path):
+        cache_path = tmp_path / "cache.json"
+        cache_path.write_text("{not json", encoding="utf-8")
+        cache = LintCache.load(cache_path, "sig")
+        assert cache.entries == {}
+
+    def test_cached_findings_stay_subject_to_baseline(self, tmp_path):
+        self._bad_file(tmp_path)
+        rules = [CounterDisciplineRule()]
+        signature = rules_signature(rules)
+        cache_path = tmp_path / "cache.json"
+
+        cold_cache = LintCache.load(cache_path, signature)
+        cold = lint_paths([str(tmp_path)], rules, cache=cold_cache)
+        cold_cache.save()
+        baseline_file = tmp_path / "baseline.json"
+        write_baseline(baseline_file, cold.findings)
+
+        warm_cache = LintCache.load(cache_path, signature)
+        warm = lint_paths(
+            [str(tmp_path)],
+            rules,
+            baseline=load_baseline(baseline_file),
+            cache=warm_cache,
+        )
+        assert warm_cache.hits == 1
+        assert warm.findings == [] and warm.baselined == 1
+
+    def test_cli_cache_flag_round_trip(self, tmp_path, capsys):
+        self._bad_file(tmp_path)
+        cache_path = tmp_path / "cache.json"
+        argv = [str(tmp_path), "--no-config", "--cache", str(cache_path)]
+        assert main(argv) == EXIT_FINDINGS
+        assert cache_path.exists()
+        capsys.readouterr()
+        assert main(argv) == EXIT_FINDINGS
+        assert "RPL003" in capsys.readouterr().out
+
+    def test_cli_no_cache_skips_the_file(self, tmp_path):
+        self._bad_file(tmp_path)
+        cache_path = tmp_path / "cache.json"
+        argv = [
+            str(tmp_path), "--no-config",
+            "--cache", str(cache_path), "--no-cache",
+        ]
+        assert main(argv) == EXIT_FINDINGS
+        assert not cache_path.exists()
+
+
+class TestChangedOnly:
+    def test_outside_git_falls_back_to_everything(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        bad = tmp_path / "repro" / "core" / "bad.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("metrics.duplicates += 1\n", encoding="utf-8")
+        monkeypatch.chdir(tmp_path)
+        monkeypatch.setenv("GIT_DIR", str(tmp_path / "definitely-not-a-repo"))
+        assert main([str(tmp_path), "--no-config", "--changed-only"]) \
+            == EXIT_FINDINGS
+        captured = capsys.readouterr()
+        assert "linting the full file set" in captured.err
+        assert "RPL003" in captured.out
+
+    def test_only_changed_files_are_linted(self, tmp_path, monkeypatch, capsys):
+        import subprocess
+
+        def git(*argv):
+            subprocess.run(
+                ["git", *argv], cwd=tmp_path, check=True, capture_output=True
+            )
+
+        git("init", "-q")
+        git("config", "user.email", "lint@test")
+        git("config", "user.name", "lint test")
+        committed = tmp_path / "repro" / "core" / "committed.py"
+        committed.parent.mkdir(parents=True)
+        committed.write_text("metrics.duplicates += 1\n", encoding="utf-8")
+        git("add", "-A")
+        git("commit", "-q", "-m", "seed")
+
+        fresh = committed.parent / "fresh.py"
+        fresh.write_text("metrics.tuple_io += 1\n", encoding="utf-8")
+        monkeypatch.chdir(tmp_path)
+        assert main([str(tmp_path), "--no-config", "--changed-only"]) \
+            == EXIT_FINDINGS
+        out = capsys.readouterr().out
+        # The untracked file is linted; the committed (unchanged)
+        # violation is not even visited.
+        assert "fresh.py" in out
+        assert "committed.py" not in out
+        assert "1 file(s)" in out
 
 
 class TestRepositoryIsClean:

@@ -1,0 +1,483 @@
+"""Tests for the lint CFG builder and the forward dataflow solver.
+
+Structural fixtures pin the edge shapes the flow rules rely on --
+try/finally routing, loop back-edges, ``with``-suite placement, async
+constructs, exception edges -- and a hypothesis suite asserts the
+builder's core invariant over generated programs: every statement of a
+function body lands in exactly one basic block.
+
+The dataflow half exercises the gen/kill layer directly with a toy
+acquire/release vocabulary, covering exactly the exception-edge
+semantics RPL008 depends on: a failed acquire acquired nothing, a
+raising pure release still releases, and ``finally`` suites are atomic.
+"""
+
+import ast
+import textwrap
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lint.cfg import (
+    BACK,
+    EXCEPT,
+    FALSE,
+    NORMAL,
+    TRUE,
+    build_cfg,
+    function_statements,
+    may_raise,
+    scan_nodes,
+)
+from repro.lint.dataflow import (
+    MAY,
+    MUST,
+    GenKill,
+    solve_gen_kill,
+)
+
+
+def fn(source):
+    """Parse one dedented function definition."""
+    return ast.parse(textwrap.dedent(source)).body[0]
+
+
+def cfg_of(source):
+    return build_cfg(fn(source))
+
+
+def effects_of(stmt):
+    """Toy resource vocabulary: acquire() gens R, release() kills it."""
+    gen, kill = set(), set()
+    for root in scan_nodes(stmt):
+        for node in ast.walk(root):
+            if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+                if node.func.id == "acquire":
+                    gen.add("R")
+                elif node.func.id == "release":
+                    kill.add("R")
+    return GenKill(frozenset(gen), frozenset(kill))
+
+
+def leaks(source, mode=MAY):
+    """Facts reaching either sink of the single function in ``source``."""
+    cfg = cfg_of(source)
+    solution = solve_gen_kill(cfg, effects_of, mode=mode)
+    return (
+        solution.facts_reaching(cfg.exit),
+        solution.facts_reaching(cfg.raise_exit),
+    )
+
+
+class TestCfgStructure:
+    def test_straight_line_is_one_block(self):
+        cfg = cfg_of(
+            """\
+            def f():
+                a = 1
+                b = 2
+                return a + b
+            """
+        )
+        blocks = [b for b in cfg.body_blocks() if b.stmts]
+        assert len(blocks) == 1
+        assert [type(s).__name__ for s in blocks[0].stmts] == [
+            "Assign", "Assign", "Return",
+        ]
+        assert (cfg.exit, NORMAL) in blocks[0].succ
+
+    def test_if_grows_true_and_false_edges(self):
+        cfg = cfg_of(
+            """\
+            def f(x):
+                if x:
+                    a = 1
+                b = 2
+            """
+        )
+        func = cfg.func
+        head = cfg.block_of(func.body[0])
+        kinds = {kind for _, kind in head.succ}
+        assert TRUE in kinds and FALSE in kinds
+        then_block = cfg.block_of(func.body[0].body[0])
+        assert (then_block.index, TRUE) in head.succ
+
+    def test_loop_back_edge(self):
+        cfg = cfg_of(
+            """\
+            def f(items):
+                for item in items:
+                    consume(item)
+                done()
+            """
+        )
+        func = cfg.func
+        head = cfg.block_of(func.body[0])
+        body = cfg.block_of(func.body[0].body[0])
+        assert (head.index, BACK) in body.succ
+        assert (body.index, TRUE) in head.succ
+        # Loop exhaustion leaves via the FALSE edge.
+        after = cfg.block_of(func.body[1])
+        assert (after.index, FALSE) in head.succ
+
+    def test_while_loop_condition_never_constant_folded(self):
+        cfg = cfg_of(
+            """\
+            def f():
+                while True:
+                    step()
+            """
+        )
+        head = cfg.block_of(cfg.func.body[0])
+        assert any(kind == FALSE for _, kind in head.succ)
+
+    def test_break_and_continue_target_the_loop(self):
+        cfg = cfg_of(
+            """\
+            def f(items):
+                for item in items:
+                    if item:
+                        break
+                    continue
+                after()
+            """
+        )
+        func = cfg.func
+        head = cfg.block_of(func.body[0])
+        break_block = cfg.block_of(func.body[0].body[0].body[0])
+        continue_block = cfg.block_of(func.body[0].body[1])
+        after = cfg.block_of(func.body[1])
+        assert (after.index, NORMAL) in break_block.succ
+        assert (head.index, BACK) in continue_block.succ
+
+    def test_call_block_has_exception_edge_to_raise_exit(self):
+        cfg = cfg_of(
+            """\
+            def f():
+                g()
+            """
+        )
+        block = cfg.block_of(cfg.func.body[0])
+        assert (cfg.raise_exit, EXCEPT) in block.succ
+
+    def test_try_body_may_dispatch_to_each_handler(self):
+        cfg = cfg_of(
+            """\
+            def f():
+                try:
+                    g()
+                except ValueError:
+                    a = 1
+                except KeyError:
+                    b = 2
+            """
+        )
+        func = cfg.func
+        body = cfg.block_of(func.body[0].body[0])
+        handler_blocks = {
+            cfg.block_of(h.body[0]).index for h in func.body[0].handlers
+        }
+        except_targets = {i for i, kind in body.succ if kind == EXCEPT}
+        assert handler_blocks <= except_targets
+
+    def test_return_in_try_routes_through_finally(self):
+        cfg = cfg_of(
+            """\
+            def f():
+                try:
+                    return g()
+                finally:
+                    release()
+            """
+        )
+        func = cfg.func
+        finally_block = cfg.block_of(func.body[0].finalbody[0])
+        assert finally_block.index in cfg.finally_blocks
+        # The finally's exit fans out to the routed return...
+        assert (cfg.exit, NORMAL) in finally_block.succ
+        # ...and propagates escaping exceptions outward.
+        assert (cfg.raise_exit, EXCEPT) in finally_block.succ
+        # The return reaches the finally, not the exit directly.
+        return_block = cfg.block_of(func.body[0].body[0])
+        assert (finally_block.index, NORMAL) in return_block.succ
+        assert (cfg.exit, NORMAL) not in return_block.succ
+
+    def test_with_suite_lives_in_its_own_block(self):
+        cfg = cfg_of(
+            """\
+            def f(path):
+                with open(path) as fh:
+                    use(fh)
+                after()
+            """
+        )
+        func = cfg.func
+        header = cfg.block_of(func.body[0])
+        suite = cfg.block_of(func.body[0].body[0])
+        assert header.index != suite.index
+        assert (suite.index, NORMAL) in header.succ
+        # scan_nodes on the header yields the context expr (the open
+        # call) and the bound name -- what RPL008's with-recognition
+        # walks.
+        names = {
+            type(node).__name__ for node in scan_nodes(func.body[0])
+        }
+        assert names == {"Call", "Name"}
+
+    def test_async_constructs_build(self):
+        cfg = cfg_of(
+            """\
+            async def f(conn, items):
+                async with conn.begin() as tx:
+                    await tx.ping()
+                async for item in items:
+                    await consume(item)
+                return 1
+            """
+        )
+        func = cfg.func
+        for stmt in function_statements(func):
+            assert cfg.block_of(stmt) is not None
+        loop_head = cfg.block_of(func.body[1])
+        loop_body = cfg.block_of(func.body[1].body[0])
+        assert (loop_head.index, BACK) in loop_body.succ
+
+    def test_code_after_return_is_unreachable(self):
+        cfg = cfg_of(
+            """\
+            def f():
+                return 1
+                dead()
+            """
+        )
+        dead = cfg.block_of(cfg.func.body[1])
+        assert dead.index not in cfg.reachable()
+        # ...but the statement still lives in exactly one block.
+        assert dead.stmts == [cfg.func.body[1]]
+
+    def test_render_is_a_line_per_block(self):
+        cfg = cfg_of(
+            """\
+            def f(x):
+                if x:
+                    return 1
+                return 2
+            """
+        )
+        dump = cfg.render()
+        assert len(dump.splitlines()) == len(cfg.blocks)
+        assert "true->" in dump and "false->" in dump
+
+
+class TestScanNodesAndMayRaise:
+    def test_if_header_yields_only_the_test(self):
+        stmt = fn("def f(x):\n    if x > 1:\n        g()\n").body[0]
+        (node,) = list(scan_nodes(stmt))
+        assert isinstance(node, ast.Compare)
+
+    def test_except_handler_yields_only_its_type(self):
+        handler = fn(
+            "def f():\n    try:\n        g()\n"
+            "    except ValueError:\n        h()\n"
+        ).body[0].handlers[0]
+        (node,) = list(scan_nodes(handler))
+        assert isinstance(node, ast.Name) and node.id == "ValueError"
+
+    def test_nested_defs_contribute_nothing(self):
+        stmt = fn("def f():\n    def g():\n        h()\n").body[0]
+        assert list(scan_nodes(stmt)) == []
+
+    def test_may_raise(self):
+        body = fn(
+            """\
+            def f():
+                x = 1
+                g()
+                raise ValueError()
+                assert x
+            """
+        ).body
+        assert not may_raise(body[0])
+        assert may_raise(body[1])
+        assert may_raise(body[2])
+        assert may_raise(body[3])
+
+
+class TestDataflow:
+    def test_paired_acquire_release_is_clean(self):
+        normal, exceptional = leaks(
+            """\
+            def f():
+                r = acquire()
+                release(r)
+            """
+        )
+        assert normal == frozenset()
+        # A raise inside release() happens after the acquire is matched
+        # by a *pure* release: the fact does not leak on that edge.
+        assert exceptional == frozenset()
+
+    def test_unreleased_acquire_reaches_exit(self):
+        normal, _ = leaks(
+            """\
+            def f():
+                r = acquire()
+                use(r)
+            """
+        )
+        assert normal == {"R"}
+
+    def test_failed_acquire_does_not_leak(self):
+        _, exceptional = leaks(
+            """\
+            def f():
+                r = acquire()
+            """
+        )
+        assert exceptional == frozenset()
+
+    def test_raise_between_acquire_and_release_leaks_exceptionally(self):
+        normal, exceptional = leaks(
+            """\
+            def f():
+                r = acquire()
+                work(r)
+                release(r)
+            """
+        )
+        assert normal == frozenset()
+        assert exceptional == {"R"}
+
+    def test_release_in_finally_covers_the_exception_edge(self):
+        normal, exceptional = leaks(
+            """\
+            def f():
+                r = acquire()
+                try:
+                    work(r)
+                finally:
+                    release(r)
+            """
+        )
+        assert normal == frozenset()
+        assert exceptional == frozenset()
+
+    def test_release_on_one_branch_only_leaks_in_may_mode(self):
+        normal, _ = leaks(
+            """\
+            def f(x):
+                r = acquire()
+                if x:
+                    release(r)
+            """
+        )
+        assert normal == {"R"}
+
+    def test_must_mode_intersects_branches(self):
+        source = """\
+            def f(x):
+                r = acquire()
+                if x:
+                    a = 1
+                else:
+                    b = 2
+                use(r)
+        """
+        cfg = cfg_of(source)
+        solution = solve_gen_kill(cfg, effects_of, mode=MUST)
+        # Both arms carry the fact, so the must-join keeps it.
+        assert solution.facts_reaching(cfg.exit) == {"R"}
+
+    def test_loop_back_edge_reaches_fixpoint(self):
+        normal, _ = leaks(
+            """\
+            def f(items):
+                for item in items:
+                    r = acquire()
+                    release(r)
+            """
+        )
+        assert normal == frozenset()
+
+
+# -- the one-block-per-statement property ------------------------------------
+
+
+@st.composite
+def _suite(draw, depth, in_loop):
+    lines = []
+    for _ in range(draw(st.integers(min_value=1, max_value=3))):
+        lines.extend(draw(_statement(depth, in_loop)))
+    return lines
+
+
+def _indent(lines):
+    return ["    " + line for line in lines]
+
+
+@st.composite
+def _statement(draw, depth, in_loop):
+    options = ["assign", "call", "return", "raise"]
+    if in_loop:
+        options += ["break", "continue"]
+    if depth < 2:
+        options += ["if", "for", "while", "with", "try"] * 2
+    kind = draw(st.sampled_from(options))
+    if kind == "assign":
+        return ["x = 1"]
+    if kind == "call":
+        return ["f()"]
+    if kind == "return":
+        return ["return x"]
+    if kind == "raise":
+        return ["raise ValueError()"]
+    if kind == "break":
+        return ["break"]
+    if kind == "continue":
+        return ["continue"]
+    if kind == "if":
+        lines = ["if cond():", *_indent(draw(_suite(depth + 1, in_loop)))]
+        if draw(st.booleans()):
+            lines += ["else:", *_indent(draw(_suite(depth + 1, in_loop)))]
+        return lines
+    if kind == "for":
+        return ["for i in items:", *_indent(draw(_suite(depth + 1, True)))]
+    if kind == "while":
+        return ["while cond():", *_indent(draw(_suite(depth + 1, True)))]
+    if kind == "with":
+        return [
+            "with ctx() as c:", *_indent(draw(_suite(depth + 1, in_loop)))
+        ]
+    lines = ["try:", *_indent(draw(_suite(depth + 1, in_loop)))]
+    has_handler = draw(st.booleans())
+    if has_handler:
+        lines += [
+            "except ValueError:", *_indent(draw(_suite(depth + 1, in_loop)))
+        ]
+    if not has_handler or draw(st.booleans()):
+        lines += ["finally:", *_indent(draw(_suite(depth + 1, in_loop)))]
+    return lines
+
+
+@given(_suite(depth=0, in_loop=False))
+@settings(max_examples=75, deadline=None)
+def test_every_statement_lands_in_exactly_one_block(body_lines):
+    source = "\n".join(["def f(x, items):", *_indent(body_lines), ""])
+    func = ast.parse(source).body[0]
+    cfg = build_cfg(func)
+    for stmt in function_statements(func):
+        owners = [
+            block.index
+            for block in cfg.blocks
+            for s in block.stmts
+            if s is stmt
+        ]
+        assert len(owners) == 1, (
+            f"{type(stmt).__name__} at line {stmt.lineno} in "
+            f"{len(owners)} blocks\n{source}\n{cfg.render()}"
+        )
+    # Reachable blocks only reach blocks that exist, and the sinks have
+    # no statements of their own.
+    assert cfg.reachable() <= {b.index for b in cfg.blocks}
+    assert cfg.blocks[cfg.exit].stmts == []
+    assert cfg.blocks[cfg.raise_exit].stmts == []
